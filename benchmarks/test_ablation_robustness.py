@@ -1,0 +1,29 @@
+"""Benchmark: poisoning quadrants — damage and recovery.
+
+Extension bench reproducing the FedRec attack literature's protocol
+against HeteFedRec: a sign-flip poisoning minority must hurt an
+undefended run, and median-of-norms clipping must recover most of the
+loss while costing (almost) nothing when clean.
+"""
+
+import numpy as np
+
+from repro.experiments.ablations import format_robustness, run_robustness
+
+
+def test_ablation_robustness_quadrants(benchmark, artifact):
+    results = benchmark.pedantic(lambda: run_robustness("bench"), rounds=1, iterations=1)
+    artifact("ablation_robustness", format_robustness(results))
+
+    clean_u = results["clean / undefended"][1]
+    clean_d = results["clean / defended"][1]
+    attacked_u = results["attacked / undefended"][1]
+    attacked_d = results["attacked / defended"][1]
+    assert all(np.isfinite(v) for v in (clean_u, clean_d, attacked_u, attacked_d))
+
+    # The attack does real damage without a defence...
+    assert attacked_u < 0.7 * clean_u
+    # ...the defence recovers a substantial part of it...
+    assert attacked_d > 1.5 * attacked_u
+    # ...and costs little when there is no attack.
+    assert clean_d > 0.7 * clean_u

@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 1 — per-user interaction-count distributions."""
+
+from repro.experiments.fig1 import format_fig1, run_fig1
+
+
+def test_fig1_interaction_distribution(benchmark, artifact):
+    results = benchmark.pedantic(
+        lambda: run_fig1("bench"), rounds=1, iterations=1
+    )
+    artifact("fig1_distribution", format_fig1(results))
+
+    for name, result in results.items():
+        # The paper's motivating observation: most users sit below the
+        # mean interaction count (heavy right tail).
+        assert result["tail_heaviness"] > 0.5, name
+        # Substantial dispersion: std is a sizeable fraction of the mean.
+        assert result["std"] / result["avg"] > 0.4, name

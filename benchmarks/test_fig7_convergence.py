@@ -1,0 +1,45 @@
+"""Benchmark: Fig. 7 — convergence curves on MovieLens.
+
+Shape targets (paper): every method converges within the training budget
+(the NDCG curve flattens), and HeteFedRec's converged value is at least
+competitive with the homogeneous baselines.  This benchmark also covers
+the Fed-LightGCN generalisation check.
+"""
+
+from benchmarks.conftest import GENERALISATION_ARCHS, HEADLINE_ARCHS
+from repro.experiments.fig7 import convergence_epochs, format_fig7, run_fig7
+
+
+def test_fig7_convergence_ncf(benchmark, artifact):
+    results = benchmark.pedantic(
+        lambda: run_fig7("bench", archs=HEADLINE_ARCHS),
+        rounds=1,
+        iterations=1,
+    )
+    artifact("fig7_convergence", format_fig7(results))
+
+    epochs = convergence_epochs(results, fraction=0.9)
+    print("\nepochs to reach 90% of final NDCG:", epochs)
+    for arch, per_method in results.items():
+        for method, run in per_method.items():
+            assert len(run.ndcg_curve) >= 3, (arch, method)
+            # Converged: the last two evaluations are close (flat tail).
+            tail = [v for _, v in run.ndcg_curve[-2:]]
+            assert abs(tail[1] - tail[0]) < 0.5 * max(tail[1], 1e-9), (arch, method)
+
+
+def test_fig7_lightgcn_generalisation(benchmark, artifact):
+    """The paper's trends hold for the second base model as well."""
+    results = benchmark.pedantic(
+        lambda: run_fig7(
+            "bench",
+            archs=GENERALISATION_ARCHS,
+            methods=("all_small", "hetefedrec"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    artifact("fig7_lightgcn", format_fig7(results))
+    for per_method in results.values():
+        for method, run in per_method.items():
+            assert run.ndcg > 0, method

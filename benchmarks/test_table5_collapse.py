@@ -1,0 +1,23 @@
+"""Benchmark: Table V — DDR prevents dimensional collapse.
+
+Shape target (paper): on every dataset the singular-value variance of
+cov(V_l) drops when DDR is enabled (reusing the Table IV runs).
+"""
+
+from benchmarks.conftest import SWEEP_ARCHS
+from repro.experiments.table5 import format_table5, run_table5
+
+
+def test_table5_singular_value_variance(benchmark, artifact):
+    results = benchmark.pedantic(
+        lambda: run_table5("bench", archs=SWEEP_ARCHS),
+        rounds=1,
+        iterations=1,
+    )
+    artifact("table5_collapse", format_table5(results))
+
+    for arch, per_dataset in results.items():
+        for dataset, variants in per_dataset.items():
+            assert variants["+ DDR"] < variants["- DDR"], (arch, dataset)
+            # The reduction is substantial, not marginal (paper: 3–10×).
+            assert variants["+ DDR"] < 0.7 * variants["- DDR"], (arch, dataset)

@@ -1,0 +1,33 @@
+"""Benchmark: Table VI — client-division ratio sweep.
+
+Shape targets (paper): the conservative 5:3:2 division is the best of
+the three ratios on long-tailed data, and performance deteriorates as
+more clients are pushed into larger models (toward All Large).
+"""
+
+from benchmarks.conftest import SWEEP_ARCHS
+from repro.experiments.table6 import format_table6, run_table6
+
+
+def test_table6_client_division(benchmark, artifact):
+    results = benchmark.pedantic(
+        lambda: run_table6("bench", archs=SWEEP_ARCHS),
+        rounds=1,
+        iterations=1,
+    )
+    artifact("table6_division", format_table6(results))
+
+    for arch, per_dataset in results.items():
+        wins_532 = 0
+        for dataset, row in per_dataset.items():
+            ratios_ndcg = {k: row[k].ndcg for k in ("5:3:2", "1:1:1", "2:3:5")}
+            if ratios_ndcg["5:3:2"] == max(ratios_ndcg.values()):
+                wins_532 += 1
+            # The optimistic division must not beat the conservative one
+            # by a wide margin anywhere (long-tailed data punishes it).
+            assert ratios_ndcg["5:3:2"] >= 0.85 * ratios_ndcg["2:3:5"], (
+                arch,
+                dataset,
+            )
+        # 5:3:2 is best on a majority of datasets (paper: on all).
+        assert wins_532 * 2 >= len(per_dataset), arch

@@ -1,0 +1,98 @@
+"""A deployment lifecycle: flaky devices, wall-clock budgets, a user quits.
+
+Run:
+    python examples/deployment_lifecycle.py
+
+Three production concerns the paper's epoch-based evaluation abstracts
+away, exercised end to end on one HeteFedRec deployment:
+
+1. **Availability** — 15% of selected devices are offline each round and
+   10% straggle (their updates apply a round late, down-weighted).
+2. **Wall-clock** — the analytic systems model converts payload sizes
+   and device speeds into round times, showing what heterogeneous sizing
+   buys in time-to-accuracy terms.
+3. **The right to be forgotten** — one user quits; contribution-ledger
+   unlearning subtracts their recorded influence exactly and a recovery
+   epoch smooths the remainder.
+"""
+
+import numpy as np
+
+from repro import (
+    Evaluator,
+    HeteFedRecConfig,
+    SyntheticConfig,
+    load_benchmark_dataset,
+    train_test_split_per_user,
+)
+from repro.federated.availability import AvailabilityConfig
+from repro.federated.systems import (
+    SystemProfile,
+    round_time_summary,
+    simulate_round_times,
+    time_to_accuracy,
+)
+from repro.federated.unlearning import UnlearningHeteFedRec
+
+
+def main() -> None:
+    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=0.02, seed=0))
+    clients = train_test_split_per_user(dataset, seed=0)
+    evaluator = Evaluator(clients, k=20)
+    print(f"{dataset}\n")
+
+    # --- 1. Train under realistic availability --------------------------
+    config = HeteFedRecConfig(
+        epochs=6,
+        seed=0,
+        enable_reskd=False,  # keeps unlearning subtraction exact
+        availability=AvailabilityConfig(
+            offline_rate=0.15, straggler_rate=0.10, staleness_weight=0.5, seed=1
+        ),
+    )
+    trainer = UnlearningHeteFedRec(dataset.num_items, clients, config)
+    trainer.fit(evaluator)
+    result = evaluator.evaluate(trainer.score_all_items)
+    print(f"trained under 15% offline / 10% stragglers: {result}")
+
+    # --- 2. What would those epochs cost on real devices? ---------------
+    # A bandwidth-constrained fleet (20 kB/s median uplink) — the regime
+    # the paper's Table III is about, where payload size dominates.
+    profile = SystemProfile(seed=2, median_bandwidth=2e4, bandwidth_sigma=1.0)
+    group_of = dict(trainer.group_of)
+    sizes = {c.user_id: c.num_train for c in trainer.clients}
+    dims = dict(config.dims)
+    for method in ("all_large", "hetefedrec"):
+        times = simulate_round_times(
+            method, group_of, sizes, dataset.num_items, dims, profile,
+            clients_per_round=64, num_rounds=40,
+        )
+        summary = round_time_summary(times)
+        curve = time_to_accuracy(trainer.history.ndcg_curve(), times)
+        total = curve[-1][0] if curve else 0.0
+        print(
+            f"{method:<12} median round {summary['median']:6.1f}s  "
+            f"p95 {summary['p95']:6.1f}s  "
+            f"whole schedule ≈ {total / 60:5.1f} min"
+        )
+    print("(same NDCG schedule, cheaper rounds: heterogeneous sizing cuts "
+          "the straggler tail)\n")
+
+    # --- 3. A user exercises the right to be forgotten -------------------
+    quitter = trainer.clients[0].user_id
+    contribution = trainer.ledger.embedding_contribution(quitter)
+    norm = float(
+        np.sqrt(sum(np.sum(v**2) for v in contribution.values()))
+    )
+    print(f"user {quitter} quits; recorded influence norm {norm:.4f}")
+    trainer.unlearn(quitter, recovery_epochs=1)
+    after = evaluator.evaluate(
+        trainer.score_all_items,
+        user_subset=[c.user_id for c in trainer.clients],
+    )
+    print(f"after exact unlearning + 1 recovery epoch: {after}")
+    print(f"population: {len(clients)} -> {len(trainer.clients)} clients")
+
+
+if __name__ == "__main__":
+    main()

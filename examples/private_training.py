@@ -1,0 +1,70 @@
+"""Privacy-protected uploads: the utility cost of clipping, noise and
+pseudo-items.
+
+Run:
+    python examples/private_training.py
+
+The paper's threat model keeps user embeddings on-device, but uploaded
+item-embedding deltas still expose the client's interaction support.
+This example trains HeteFedRec with the three standard counter-measures
+(`repro.federated.privacy`) at increasing strength and reports the
+privacy-utility trade-off.
+"""
+
+from repro import (
+    Evaluator,
+    HeteFedRecConfig,
+    SyntheticConfig,
+    build_method,
+    load_benchmark_dataset,
+    train_test_split_per_user,
+)
+from repro.experiments.reporting import format_table
+from repro.federated.privacy import PrivacyConfig
+
+LEVELS = [
+    ("no protection", None),
+    ("clip only", PrivacyConfig(clip_norm=0.5)),
+    ("clip + pseudo-items", PrivacyConfig(clip_norm=0.5, pseudo_items=16)),
+    (
+        "clip + pseudo + LDP noise",
+        PrivacyConfig(clip_norm=0.5, pseudo_items=16, noise_std=0.05),
+    ),
+    (
+        "strong LDP",
+        PrivacyConfig(clip_norm=0.25, pseudo_items=32, noise_std=0.2),
+    ),
+]
+
+
+def main() -> None:
+    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=0.03, seed=0))
+    clients = train_test_split_per_user(dataset, seed=0)
+    evaluator = Evaluator(clients, k=20)
+    print(f"{dataset}\n")
+
+    rows = []
+    for label, privacy in LEVELS:
+        config = HeteFedRecConfig(epochs=8, seed=0, privacy=privacy)
+        trainer = build_method("hetefedrec", dataset.num_items, clients, config)
+        trainer.fit()
+        result = evaluator.evaluate(trainer.score_all_items)
+        rows.append([label, result.recall, result.ndcg])
+        print(f"finished: {label}")
+
+    print()
+    print(
+        format_table(
+            ["Protection level", "Recall@20", "NDCG@20"],
+            rows,
+            title="Privacy-utility trade-off (HeteFedRec, Fed-NCF)",
+        )
+    )
+    print(
+        "\nClipping and pseudo-items are nearly free; aggressive LDP noise\n"
+        "costs accuracy — the standard trade-off, now measurable per level."
+    )
+
+
+if __name__ == "__main__":
+    main()

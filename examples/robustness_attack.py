@@ -1,0 +1,74 @@
+"""Poisoning HeteFedRec and defending it: the four-quadrant experiment.
+
+Run:
+    python examples/robustness_attack.py
+
+A fraction of clients uploads sign-flipped, amplified updates (the
+strongest untargeted baseline of the FedRec attack literature the paper
+cites).  We train the four quadrants — {clean, attacked} × {undefended,
+defended} — and report the ranking quality of each, showing the damage
+an unprotected heterogeneous aggregation takes and how much a robust
+server rule recovers.
+"""
+
+from repro import (
+    Evaluator,
+    HeteFedRecConfig,
+    SyntheticConfig,
+    load_benchmark_dataset,
+    train_test_split_per_user,
+)
+from repro.experiments.reporting import format_table
+from repro.robustness import (
+    AdversarialHeteFedRec,
+    AttackConfig,
+    RobustAggregationConfig,
+)
+
+ATTACK = AttackConfig(kind="signflip", fraction=0.2, scale=25.0, seed=7)
+DEFENSE = RobustAggregationConfig(kind="clip", clip_headroom=2.0)
+
+
+def main() -> None:
+    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=0.02, seed=0))
+    clients = train_test_split_per_user(dataset, seed=0)
+    evaluator = Evaluator(clients, k=20)
+    config = HeteFedRecConfig(epochs=6, seed=0)
+    print(f"{dataset}")
+    print(f"attack: {ATTACK.kind}, {ATTACK.fraction:.0%} malicious, "
+          f"×{ATTACK.scale:g} amplification; defense: {DEFENSE.kind}\n")
+
+    quadrants = [
+        ("clean / undefended", None, None),
+        ("clean / defended", None, DEFENSE),
+        ("attacked / undefended", ATTACK, None),
+        ("attacked / defended", ATTACK, DEFENSE),
+    ]
+    rows = []
+    for label, attack, defense in quadrants:
+        trainer = AdversarialHeteFedRec(
+            dataset.num_items, clients, config, attack=attack, defense=defense
+        )
+        trainer.fit()
+        honest = trainer.honest_clients()
+        result = evaluator.evaluate(trainer.score_all_items, user_subset=honest)
+        rows.append([label, result.recall, result.ndcg])
+        print(f"finished: {label}")
+
+    print()
+    print(
+        format_table(
+            ["Scenario", "Recall@20", "NDCG@20"],
+            rows,
+            title="Poisoning and defence (honest clients only)",
+        )
+    )
+    print(
+        "\nReading the quadrants: the defence should cost little when\n"
+        "clean (row 2 vs 1) and recover most of the damage when attacked\n"
+        "(row 4 vs 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Secure aggregation: the server learns only sums, training is unchanged.
+
+Run:
+    python examples/secure_aggregation.py
+
+HeteFedRec's aggregation (Eq. 8/15) only ever consumes *sums* of client
+updates.  Secure aggregation (``repro.federated.secure_agg``) makes that
+privacy argument concrete: every upload is pairwise-masked so it looks
+uniformly random to the server, yet the per-round sums — and therefore
+the trained model — are exactly those of plaintext training.  This
+example verifies both halves of that claim and demonstrates dropout
+recovery.
+"""
+
+import numpy as np
+
+from repro import (
+    Evaluator,
+    HeteFedRecConfig,
+    SyntheticConfig,
+    build_method,
+    load_benchmark_dataset,
+    train_test_split_per_user,
+)
+from repro.federated.secure_agg import (
+    SecureAggregationConfig,
+    SecureAggregationSession,
+)
+
+
+def train(label: str, config: HeteFedRecConfig, dataset, clients, evaluator):
+    trainer = build_method("hetefedrec", dataset.num_items, clients, config)
+    trainer.fit()
+    result = evaluator.evaluate(trainer.score_all_items)
+    print(f"{label:<22} {result}")
+    return trainer
+
+
+def main() -> None:
+    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=0.02, seed=0))
+    clients = train_test_split_per_user(dataset, seed=0)
+    evaluator = Evaluator(clients, k=20)
+    print(f"{dataset}\n")
+
+    base = HeteFedRecConfig(epochs=5, seed=0)
+    plain = train("plaintext", base, dataset, clients, evaluator)
+    secure = train(
+        "secure aggregation",
+        base.copy_with(secure_aggregation=SecureAggregationConfig()),
+        dataset,
+        clients,
+        evaluator,
+    )
+
+    drift = max(
+        float(
+            np.max(
+                np.abs(
+                    plain.models[g].item_embedding.weight.data
+                    - secure.models[g].item_embedding.weight.data
+                )
+            )
+        )
+        for g in plain.groups
+    )
+    print(f"\nmax parameter drift plaintext vs secure: {drift:.2e}")
+    print(
+        "(each round's sum matches to ~1e-7 fixed-point precision; over\n"
+        " many epochs those rounding differences compound through local\n"
+        " training, so trajectories drift while quality stays equal)"
+    )
+
+    # What the server actually sees: one client's masked upload.
+    session = SecureAggregationSession(
+        participant_ids=[1, 2, 3], vector_size=8, round_id=0,
+        config=SecureAggregationConfig(),
+    )
+    honest_vector = np.full(8, 0.25)
+    masked = session.mask(1, honest_vector)
+    print(f"\na client's true update : {honest_vector}")
+    print(f"what the server sees    : {masked}")
+
+    # Dropout: client 3 masks but never delivers; survivors' seeds recover it.
+    uploads = {i: session.mask(i, honest_vector) for i in (1, 2)}
+    recovered = session.unmask(uploads, dropouts=[3])
+    print(f"sum after client-3 drop : {np.round(recovered, 4)} (= 2 × 0.25)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the `wheel` package (needed for PEP-517 editable builds) is absent."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.23"],
+    python_requires=">=3.10",
+)

@@ -1,0 +1,22 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the deep-learning substrate of the reproduction: the
+paper's implementation uses PyTorch, which is unavailable offline, so we
+provide a small but complete autodiff engine with exactly the operator set
+the recommendation models and HeteFedRec losses require.
+
+The public surface mirrors the familiar ``torch``-like API:
+
+>>> from repro.autograd import Tensor
+>>> x = Tensor([[1.0, 2.0]], requires_grad=True)
+>>> y = (x * 3).sum()
+>>> y.backward()
+>>> x.grad
+array([[3., 3.]])
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import ops
+from repro.autograd.gradcheck import gradcheck
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "ops", "gradcheck"]

@@ -1,0 +1,32 @@
+"""The six baselines the paper constructs (Section V-C).
+
+Homogeneous: All Small, All Large, All Large/Exclusive.
+Heterogeneous: Standalone, Clustered FedRec, Directly Aggregate.
+All run through the same trainer interface as HeteFedRec so the
+experiment harness treats every method uniformly.
+"""
+
+from repro.baselines.homogeneous import (
+    AllLargeExclusiveTrainer,
+    HomogeneousTrainer,
+    all_large,
+    all_large_exclusive,
+    all_small,
+)
+from repro.baselines.standalone import StandaloneTrainer
+from repro.baselines.clustered import ClusteredTrainer
+from repro.baselines.direct import DirectAggregateTrainer
+from repro.baselines.registry import METHODS, build_method
+
+__all__ = [
+    "HomogeneousTrainer",
+    "AllLargeExclusiveTrainer",
+    "all_small",
+    "all_large",
+    "all_large_exclusive",
+    "StandaloneTrainer",
+    "ClusteredTrainer",
+    "DirectAggregateTrainer",
+    "METHODS",
+    "build_method",
+]

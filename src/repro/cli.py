@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``run``
+    Train one method on one dataset and print Recall@20 / NDCG@20.
+``experiments``
+    Regenerate paper artefacts (delegates to
+    :mod:`repro.experiments.run_all`).
+``methods``
+    List every registered method with its Table II display name.
+``stats``
+    Print Table I-style statistics for a (synthetic or on-disk) dataset.
+``search``
+    Successive-halving search over division ratios and model sizes.
+
+Every subcommand is a thin shell over the public library API — anything
+the CLI does is one import away in a notebook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.baselines.registry import DISPLAY_NAMES, METHODS, build_method
+from repro.core.config import HeteFedRecConfig
+from repro.core.size_search import successive_halving
+from repro.data.movielens import load_movielens
+from repro.data.stats import dataset_statistics
+from repro.data.synthetic import SyntheticConfig, load_benchmark_dataset
+from repro.data.splitting import train_test_split_per_user
+from repro.eval.evaluator import Evaluator
+
+DATASETS = ("ml", "anime", "douban")
+
+
+def _load_dataset(args: argparse.Namespace):
+    """Dataset from --ratings (real dump) or --dataset (synthetic analogue)."""
+    if getattr(args, "ratings", None):
+        return load_movielens(args.ratings)
+    return load_benchmark_dataset(
+        args.dataset, SyntheticConfig(scale=args.scale, seed=args.seed)
+    )
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=DATASETS, default="ml",
+        help="synthetic benchmark analogue to generate (default: ml)",
+    )
+    parser.add_argument(
+        "--ratings", default=None, metavar="PATH",
+        help="path to a real MovieLens-format ratings file (overrides --dataset)",
+    )
+    parser.add_argument("--scale", type=float, default=0.04,
+                        help="user-count scale of the synthetic analogue")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    clients = train_test_split_per_user(dataset, seed=args.seed)
+    config = HeteFedRecConfig(
+        arch=args.arch,
+        epochs=args.epochs,
+        clients_per_round=args.clients_per_round,
+        seed=args.seed,
+    )
+    trainer = build_method(args.method, dataset.num_items, clients, config)
+    evaluator = Evaluator(clients, k=args.k)
+    print(f"training {DISPLAY_NAMES.get(args.method, args.method)} "
+          f"({args.arch}) on {dataset.name}: "
+          f"{dataset.num_users} users, {dataset.num_items} items")
+    trainer.fit()
+    result = evaluator.evaluate(trainer.score_all_items)
+    print(result)
+    comm = trainer.meter.per_client_round()
+    print(f"communication: {comm:,.0f} scalars per client-round")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import run_all
+
+    written = run_all(profile=args.profile, out_dir=args.out,
+                      archs=tuple(args.archs))
+    print(f"wrote {len(written)} artefacts to {args.out}/")
+    return 0
+
+
+def _cmd_methods(_: argparse.Namespace) -> int:
+    width = max(len(name) for name in METHODS)
+    for name in METHODS:
+        print(f"{name:<{width}}  {DISPLAY_NAMES.get(name, '')}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    dataset = _load_dataset(args)
+    stats = asdict(dataset_statistics(dataset))
+    print(f"dataset: {dataset.name}")
+    for key, value in stats.items():
+        if isinstance(value, float):
+            print(f"  {key:<18} {value:,.2f}")
+        elif isinstance(value, int):
+            print(f"  {key:<18} {value:,}")
+        else:
+            print(f"  {key:<18} {value}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    clients = train_test_split_per_user(dataset, seed=args.seed)
+    config = HeteFedRecConfig(
+        arch=args.arch, clients_per_round=args.clients_per_round, seed=args.seed
+    )
+    result = successive_halving(
+        dataset.num_items, clients, config, epochs_per_rung=args.epochs_per_rung
+    )
+    for record in result.rungs:
+        print(f"rung {record.rung}: {len(record.scores)} candidates")
+        for candidate, score in sorted(record.scores, key=lambda p: -p[1]):
+            print(f"  NDCG={score:.5f}  {candidate.describe()}")
+    print(f"winner: {result.best.describe()} "
+          f"({result.total_epochs_trained} pilot epochs spent)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HeteFedRec reproduction (ICDE 2024) command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="train one method and evaluate")
+    _add_data_arguments(run_parser)
+    run_parser.add_argument("--method", choices=sorted(METHODS), default="hetefedrec")
+    run_parser.add_argument("--arch", choices=("ncf", "lightgcn", "mf"), default="ncf")
+    run_parser.add_argument("--epochs", type=int, default=5)
+    run_parser.add_argument("--clients-per-round", type=int, default=256)
+    run_parser.add_argument("--k", type=int, default=20)
+    run_parser.set_defaults(func=_cmd_run)
+
+    exp_parser = subparsers.add_parser(
+        "experiments", help="regenerate every paper table and figure"
+    )
+    exp_parser.add_argument("--profile", default="bench")
+    exp_parser.add_argument("--out", default="results")
+    exp_parser.add_argument("--archs", nargs="+", default=["ncf"])
+    exp_parser.set_defaults(func=_cmd_experiments)
+
+    methods_parser = subparsers.add_parser("methods", help="list available methods")
+    methods_parser.set_defaults(func=_cmd_methods)
+
+    stats_parser = subparsers.add_parser("stats", help="Table I statistics")
+    _add_data_arguments(stats_parser)
+    stats_parser.set_defaults(func=_cmd_stats)
+
+    search_parser = subparsers.add_parser(
+        "search", help="successive-halving ratio/size search"
+    )
+    _add_data_arguments(search_parser)
+    search_parser.add_argument("--arch", choices=("ncf", "lightgcn", "mf"), default="ncf")
+    search_parser.add_argument("--clients-per-round", type=int, default=64)
+    search_parser.add_argument("--epochs-per-rung", type=int, default=1)
+    search_parser.set_defaults(func=_cmd_search)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Update compression: sparsification and quantisation of client uploads.
+
+The paper's Table III treats communication cost as the dominant systems
+constraint and HeteFedRec's heterogeneous sizing as the lever.  This
+subpackage adds the orthogonal lever from the FL systems literature
+(LightFR [42] and the sparsification line of work): compress each upload
+before it leaves the client.  Compression composes with every method in
+the repo, including secure aggregation-free HeteFedRec, because the
+server only ever consumes the (lossily) reconstructed dense deltas.
+
+Codecs
+------
+* ``topk`` — keep the largest-magnitude fraction of entries;
+* ``randomk`` — keep a random fraction, unbiasedly rescaled by 1/ratio;
+* ``quantize`` — uniform b-bit quantisation of every entry;
+* ``none`` — identity (for sweeps).
+
+``error_feedback`` accumulates each client's compression residual and
+adds it back before the next round's compression (Seide et al., 2014) —
+the standard fix for the bias top-k introduces.
+"""
+
+from repro.compression.codecs import (
+    CompressedTensor,
+    CompressionConfig,
+    Compressor,
+    build_compressor,
+    quantize_uniform,
+    randomk_sparsify,
+    topk_sparsify,
+)
+from repro.compression.client import ClientCompressor
+
+__all__ = [
+    "CompressedTensor",
+    "CompressionConfig",
+    "Compressor",
+    "ClientCompressor",
+    "build_compressor",
+    "quantize_uniform",
+    "randomk_sparsify",
+    "topk_sparsify",
+]

@@ -1,0 +1,78 @@
+"""Per-client compression state: residual error feedback over rounds.
+
+A :class:`ClientCompressor` wraps one :class:`Compressor` with the
+per-client residual memories error feedback needs.  The trainer calls
+:meth:`apply` on every upload; the returned :class:`ClientUpdate` carries
+the lossy reconstruction the server will aggregate and the true wire
+cost in ``upload_size_override``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.compression.codecs import CompressionConfig, Compressor
+from repro.federated.payload import ClientUpdate
+
+
+class ClientCompressor:
+    """Compresses uploads, optionally with per-client error feedback."""
+
+    def __init__(self, config: CompressionConfig) -> None:
+        self.config = config
+        self.codec = Compressor(config)
+        #: (user_id, block_key) → residual carried into the next round.
+        self._residuals: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def _compress_block(
+        self, user_id: int, key: str, values: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        if self.config.error_feedback:
+            residual_key = (user_id, key)
+            carried = self._residuals.get(residual_key)
+            if carried is not None and carried.shape == values.shape:
+                values = values + carried
+            compressed = self.codec.compress(values)
+            self._residuals[residual_key] = values - compressed.dense()
+            return compressed.dense(), compressed.payload_scalars
+        compressed = self.codec.compress(values)
+        return compressed.dense(), compressed.payload_scalars
+
+    def apply(self, update: ClientUpdate) -> ClientUpdate:
+        """Return the update as the server will receive it over the wire."""
+        embedding, cost = self._compress_block(
+            update.user_id, "embedding", update.embedding_delta
+        )
+        heads: Dict[str, Dict[str, np.ndarray]] = {}
+        for head_group, state in update.head_deltas.items():
+            compressed_state: Dict[str, np.ndarray] = {}
+            for name, values in state.items():
+                block, block_cost = self._compress_block(
+                    update.user_id, f"head:{head_group}:{name}", values
+                )
+                compressed_state[name] = block
+                cost += block_cost
+            heads[head_group] = compressed_state
+        return ClientUpdate(
+            user_id=update.user_id,
+            group=update.group,
+            embedding_delta=embedding,
+            head_deltas=heads,
+            num_examples=update.num_examples,
+            train_loss=update.train_loss,
+            upload_size_override=cost,
+        )
+
+    def residual_norm(self, user_id: int) -> float:
+        """Total L2 norm of a client's carried residuals (diagnostics)."""
+        total = 0.0
+        for (uid, _), residual in self._residuals.items():
+            if uid == user_id:
+                total += float(np.sum(residual**2))
+        return float(np.sqrt(total))
+
+    def reset(self) -> None:
+        """Drop all residual state (e.g. between independent experiment repeats)."""
+        self._residuals.clear()

@@ -1,0 +1,50 @@
+"""HeteFedRec: the paper's primary contribution (Section IV).
+
+Four pieces compose the framework:
+
+* :mod:`repro.core.grouping` — divide clients into U_s/U_m/U_l by data size;
+* :mod:`repro.core.dual_task` — unified dual-task learning (Eq. 11);
+* :mod:`repro.core.decorrelation` — dimensional decorrelation (Eq. 12–14);
+* :mod:`repro.core.distillation` — relation-based ensemble self-KD (Eq. 16–17);
+* :mod:`repro.core.hetefedrec` — Algorithm 1, tying them into the trainer.
+"""
+
+from repro.core.config import HeteFedRecConfig
+from repro.core.grouping import GROUP_ORDER, divide_clients, group_boundaries
+from repro.core.dual_task import dual_task_loss
+from repro.core.decorrelation import decorrelation_penalty, singular_value_variance
+from repro.core.distillation import DistillationConfig, relation_distillation_step
+from repro.core.hetefedrec import HeteFedRec
+from repro.core.autodivision import (
+    auto_configure,
+    search_division_ratio,
+    search_model_sizes,
+)
+from repro.core.size_search import (
+    Candidate,
+    HalvingResult,
+    default_candidate_grid,
+    halving_schedule,
+    successive_halving,
+)
+
+__all__ = [
+    "HeteFedRecConfig",
+    "GROUP_ORDER",
+    "divide_clients",
+    "group_boundaries",
+    "dual_task_loss",
+    "decorrelation_penalty",
+    "singular_value_variance",
+    "DistillationConfig",
+    "relation_distillation_step",
+    "HeteFedRec",
+    "auto_configure",
+    "search_division_ratio",
+    "search_model_sizes",
+    "Candidate",
+    "HalvingResult",
+    "default_candidate_grid",
+    "halving_schedule",
+    "successive_halving",
+]

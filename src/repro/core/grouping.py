@@ -1,0 +1,75 @@
+"""Client division by data size (paper Section IV-A and RQ4).
+
+Clients are sorted by interaction count and split into small / medium /
+large groups according to a ratio such as 5:3:2 — the smallest 50% of
+clients become U_s, the next 30% U_m, the top 20% U_l.  The paper's
+Table I ties this to the <50% / <80% count percentiles; sorting and
+cutting by rank is equivalent and handles ties deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ClientData
+
+#: Canonical group labels, narrowest table first.
+GROUP_ORDER: Tuple[str, ...] = ("s", "m", "l")
+
+
+def group_boundaries(
+    num_clients: int, ratios: Sequence[float]
+) -> List[int]:
+    """Cumulative cut indices for splitting ``num_clients`` by ``ratios``.
+
+    E.g. 100 clients at (5, 3, 2) → [50, 80, 100].
+    """
+    if len(ratios) != len(GROUP_ORDER):
+        raise ValueError(f"expected {len(GROUP_ORDER)} ratios, got {len(ratios)}")
+    if any(r < 0 for r in ratios) or sum(ratios) <= 0:
+        raise ValueError(f"ratios must be non-negative with positive sum: {ratios}")
+    total = float(sum(ratios))
+    cuts = []
+    acc = 0.0
+    for ratio in ratios:
+        acc += ratio
+        cuts.append(int(round(num_clients * acc / total)))
+    cuts[-1] = num_clients  # guard against rounding drift
+    return cuts
+
+
+def divide_clients(
+    clients: Sequence[ClientData],
+    ratios: Sequence[float] = (5, 3, 2),
+) -> Dict[int, str]:
+    """Assign each user a group label by training-data size.
+
+    Ties in interaction count are broken by user id so the division is
+    deterministic.  Returns ``{user_id: 's'|'m'|'l'}``.
+    """
+    order = sorted(clients, key=lambda c: (c.num_train, c.user_id))
+    cuts = group_boundaries(len(order), ratios)
+    assignment: Dict[int, str] = {}
+    start = 0
+    for group, stop in zip(GROUP_ORDER, cuts):
+        for client in order[start:stop]:
+            assignment[client.user_id] = group
+        start = stop
+    return assignment
+
+
+def homogeneous_assignment(
+    clients: Sequence[ClientData], group: str = "s"
+) -> Dict[int, str]:
+    """Everyone in one group — the All Small / All Large baselines."""
+    return {client.user_id: group for client in clients}
+
+
+def group_counts(assignment: Dict[int, str]) -> Dict[str, int]:
+    """Number of clients per group label."""
+    counts: Dict[str, int] = {}
+    for group in assignment.values():
+        counts[group] = counts.get(group, 0) + 1
+    return counts

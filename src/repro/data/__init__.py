@@ -1,0 +1,54 @@
+"""Dataset substrate: interaction data, synthetic generators, splits.
+
+The paper evaluates on MovieLens-1M, Anime and Douban.  Real dumps are not
+downloadable in this offline environment, so :mod:`repro.data.synthetic`
+generates statistically matched analogues (long-tailed per-user activity
+over a learnable low-rank preference structure); when a real MovieLens
+``ratings.dat`` is available, :mod:`repro.data.movielens` parses it into
+the same :class:`InteractionDataset` type.
+"""
+
+from repro.data.dataset import InteractionDataset, ClientData
+from repro.data.synthetic import (
+    DatasetSpec,
+    SyntheticConfig,
+    DATASET_SPECS,
+    generate_dataset,
+    load_benchmark_dataset,
+)
+from repro.data.movielens import load_movielens
+from repro.data.loaders import (
+    load_anime,
+    load_delimited,
+    load_douban,
+    load_timestamped,
+)
+from repro.data.splitting import (
+    leave_one_out_split,
+    temporal_split_per_user,
+    train_test_split_per_user,
+)
+from repro.data.sampling import NegativeSampler, build_training_batch
+from repro.data.stats import dataset_statistics, interaction_histogram
+
+__all__ = [
+    "InteractionDataset",
+    "ClientData",
+    "DatasetSpec",
+    "SyntheticConfig",
+    "DATASET_SPECS",
+    "generate_dataset",
+    "load_benchmark_dataset",
+    "load_movielens",
+    "load_anime",
+    "load_delimited",
+    "load_douban",
+    "load_timestamped",
+    "train_test_split_per_user",
+    "leave_one_out_split",
+    "temporal_split_per_user",
+    "NegativeSampler",
+    "build_training_batch",
+    "dataset_statistics",
+    "interaction_histogram",
+]

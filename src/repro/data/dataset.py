@@ -1,0 +1,137 @@
+"""Core dataset containers for implicit-feedback recommendation.
+
+Data follows the paper's setting (Section III-A): each *client* is one
+*user*; its private dataset holds the items that user interacted with
+(``r_ij = 1``); everything else is a candidate negative.  The federated
+layer never moves raw interactions between clients — only each client's
+:class:`ClientData` view is handed to the corresponding simulated device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ClientData:
+    """One user's private view: train / validation / test item ids."""
+
+    user_id: int
+    train_items: np.ndarray
+    valid_items: np.ndarray
+    test_items: np.ndarray
+
+    @property
+    def num_train(self) -> int:
+        return int(self.train_items.size)
+
+    @property
+    def num_interactions(self) -> int:
+        return int(self.train_items.size + self.valid_items.size + self.test_items.size)
+
+    def known_items(self) -> np.ndarray:
+        """Items that must be masked out when ranking test candidates."""
+        return np.concatenate([self.train_items, self.valid_items])
+
+
+class InteractionDataset:
+    """A user–item implicit-feedback dataset.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Universe sizes (|U|, |V|).
+    user_items:
+        For each user, the array of distinct item ids that user interacted
+        with.  Order is irrelevant; duplicates are rejected.
+    name:
+        Human-readable dataset name, used in experiment reports.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        user_items: Sequence[np.ndarray],
+        name: str = "dataset",
+    ) -> None:
+        if len(user_items) != num_users:
+            raise ValueError(
+                f"user_items has {len(user_items)} entries for {num_users} users"
+            )
+        self.num_users = num_users
+        self.num_items = num_items
+        self.name = name
+        self.user_items: List[np.ndarray] = []
+        for user_id, items in enumerate(user_items):
+            items = np.unique(np.asarray(items, dtype=np.int64))
+            if items.size and (items.min() < 0 or items.max() >= num_items):
+                raise ValueError(f"user {user_id} has out-of-range item ids")
+            self.user_items.append(items)
+
+    # ------------------------------------------------------------------
+    # Basic statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_interactions(self) -> int:
+        return int(sum(items.size for items in self.user_items))
+
+    def interaction_counts(self) -> np.ndarray:
+        """Per-user interaction counts (the quantity behind Fig. 1)."""
+        return np.array([items.size for items in self.user_items], dtype=np.int64)
+
+    def density(self) -> float:
+        return self.num_interactions / float(self.num_users * self.num_items)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[int, int]],
+        num_users: Optional[int] = None,
+        num_items: Optional[int] = None,
+        name: str = "dataset",
+    ) -> "InteractionDataset":
+        """Build from an iterable of (user, item) tuples.
+
+        User/item universes default to the max observed id + 1.
+        """
+        per_user: Dict[int, List[int]] = {}
+        max_user = -1
+        max_item = -1
+        for user, item in pairs:
+            per_user.setdefault(int(user), []).append(int(item))
+            max_user = max(max_user, int(user))
+            max_item = max(max_item, int(item))
+        num_users = num_users if num_users is not None else max_user + 1
+        num_items = num_items if num_items is not None else max_item + 1
+        user_items = [
+            np.asarray(per_user.get(user, []), dtype=np.int64) for user in range(num_users)
+        ]
+        return cls(num_users, num_items, user_items, name=name)
+
+    def to_pairs(self) -> np.ndarray:
+        """Flatten into an (n, 2) array of (user, item) pairs."""
+        rows = []
+        for user, items in enumerate(self.user_items):
+            if items.size:
+                rows.append(np.stack([np.full(items.size, user, dtype=np.int64), items], 1))
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(rows, axis=0)
+
+    def filter_min_interactions(self, minimum: int) -> "InteractionDataset":
+        """Drop users with fewer than ``minimum`` interactions, re-indexing users."""
+        kept = [items for items in self.user_items if items.size >= minimum]
+        return InteractionDataset(len(kept), self.num_items, kept, name=self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"InteractionDataset(name={self.name!r}, users={self.num_users}, "
+            f"items={self.num_items}, interactions={self.num_interactions})"
+        )

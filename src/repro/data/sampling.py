@@ -1,0 +1,95 @@
+"""Negative sampling and local-batch construction.
+
+The paper binarises ratings and samples negatives at a 1:4
+positive-to-negative ratio (Section V-A).  Negatives are drawn uniformly
+from the items the user has *not* interacted with — each client samples
+against its own interaction set only, so no cross-client information is
+needed (privacy constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.dataset import ClientData
+
+
+class NegativeSampler:
+    """Uniform negative sampler over a user's non-interacted items.
+
+    Rejection sampling against a hash set is O(ratio · positives) in the
+    common sparse case; when a user has interacted with most of the
+    catalogue we fall back to exact sampling from the complement.
+    """
+
+    def __init__(self, num_items: int, seed: int = 0) -> None:
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        self.num_items = num_items
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, positive_items: np.ndarray, count: int) -> np.ndarray:
+        """Draw ``count`` item ids not present in ``positive_items``."""
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        positives = set(int(i) for i in positive_items)
+        num_negative_pool = self.num_items - len(positives)
+        if num_negative_pool <= 0:
+            raise ValueError("user has interacted with every item; no negatives exist")
+
+        # Dense fallback: the complement is small enough to materialise.
+        if len(positives) > 0.5 * self.num_items:
+            pool = np.setdiff1d(
+                np.arange(self.num_items, dtype=np.int64),
+                np.fromiter(positives, dtype=np.int64, count=len(positives)),
+            )
+            return self._rng.choice(pool, size=count, replace=True)
+
+        samples = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            batch = self._rng.integers(0, self.num_items, size=(count - filled) * 2)
+            for item in batch:
+                if int(item) not in positives:
+                    samples[filled] = item
+                    filled += 1
+                    if filled == count:
+                        break
+        return samples
+
+
+@dataclass
+class TrainingBatch:
+    """A client-local training batch of (item, label) pairs for one user."""
+
+    items: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.items.shape != self.labels.shape:
+            raise ValueError("items and labels must align")
+
+    def __len__(self) -> int:
+        return int(self.items.size)
+
+
+def build_training_batch(
+    client: ClientData,
+    sampler: NegativeSampler,
+    negative_ratio: int = 4,
+    shuffle_rng: np.random.Generator | None = None,
+) -> TrainingBatch:
+    """Positives + ``negative_ratio``× sampled negatives, shuffled together."""
+    positives = client.train_items
+    negatives = sampler.sample(client.known_items(), positives.size * negative_ratio)
+    items = np.concatenate([positives, negatives])
+    labels = np.concatenate(
+        [np.ones(positives.size, dtype=np.float64), np.zeros(negatives.size, dtype=np.float64)]
+    )
+    if shuffle_rng is not None:
+        order = shuffle_rng.permutation(items.size)
+        items, labels = items[order], labels[order]
+    return TrainingBatch(items=items, labels=labels)

@@ -1,0 +1,43 @@
+"""Evaluation: Recall@K, NDCG@K, per-user ranking, per-group breakdowns."""
+
+from repro.eval.metrics import ndcg_at_k, rank_items, recall_at_k
+from repro.eval.extra_metrics import (
+    auc_score,
+    extended_user_metrics,
+    gini_coefficient,
+    hit_rate_at_k,
+    item_coverage_at_k,
+    mrr_at_k,
+    precision_at_k,
+    recommendation_counts_at_k,
+)
+from repro.eval.evaluator import EvaluationResult, Evaluator
+from repro.eval.groups import GroupMetrics, per_group_metrics
+from repro.eval.significance import (
+    BootstrapResult,
+    compare_results,
+    paired_bootstrap,
+    sign_test_pvalue,
+)
+
+__all__ = [
+    "recall_at_k",
+    "ndcg_at_k",
+    "rank_items",
+    "hit_rate_at_k",
+    "precision_at_k",
+    "mrr_at_k",
+    "auc_score",
+    "item_coverage_at_k",
+    "recommendation_counts_at_k",
+    "gini_coefficient",
+    "extended_user_metrics",
+    "Evaluator",
+    "EvaluationResult",
+    "GroupMetrics",
+    "per_group_metrics",
+    "BootstrapResult",
+    "paired_bootstrap",
+    "sign_test_pvalue",
+    "compare_results",
+]

@@ -1,0 +1,86 @@
+"""The evaluator: turns a scoring function into Table II-style numbers.
+
+The federated trainers expose ``score_all_items(client) -> scores``; the
+evaluator runs the full-ranking protocol over every client and averages
+Recall@20 / NDCG@20, overall and (via :mod:`repro.eval.groups`) per client
+group for Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ClientData
+from repro.eval.metrics import ndcg_at_k, rank_items, recall_at_k
+
+ScoreFn = Callable[[ClientData], np.ndarray]
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated metrics plus the per-user values they were averaged from."""
+
+    recall: float
+    ndcg: float
+    k: int
+    per_user_recall: np.ndarray
+    per_user_ndcg: np.ndarray
+    evaluated_users: np.ndarray
+
+    def __str__(self) -> str:
+        return f"Recall@{self.k}={self.recall:.5f} NDCG@{self.k}={self.ndcg:.5f}"
+
+
+class Evaluator:
+    """Full-ranking evaluation over a fixed client split.
+
+    Parameters
+    ----------
+    clients:
+        Per-user splits; users with empty test sets are skipped (their
+        metrics are undefined), matching common practice.
+    k:
+        Cut-off for Recall@K / NDCG@K (paper: 20).
+    """
+
+    def __init__(self, clients: Sequence[ClientData], k: int = 20) -> None:
+        self.clients = list(clients)
+        self.k = k
+
+    def evaluate(
+        self,
+        score_fn: ScoreFn,
+        user_subset: Optional[Sequence[int]] = None,
+    ) -> EvaluationResult:
+        """Evaluate ``score_fn`` over all (or a subset of) users."""
+        subset = (
+            set(int(u) for u in user_subset) if user_subset is not None else None
+        )
+        recalls: List[float] = []
+        ndcgs: List[float] = []
+        users: List[int] = []
+        for client in self.clients:
+            if subset is not None and client.user_id not in subset:
+                continue
+            if client.test_items.size == 0:
+                continue
+            scores = score_fn(client)
+            ranked = rank_items(scores, exclude=client.known_items(), k=self.k)
+            recalls.append(recall_at_k(ranked, client.test_items, k=self.k))
+            ndcgs.append(ndcg_at_k(ranked, client.test_items, k=self.k))
+            users.append(client.user_id)
+
+        if not recalls:
+            empty = np.empty(0)
+            return EvaluationResult(0.0, 0.0, self.k, empty, empty, np.empty(0, dtype=int))
+        return EvaluationResult(
+            recall=float(np.mean(recalls)),
+            ndcg=float(np.mean(ndcgs)),
+            k=self.k,
+            per_user_recall=np.asarray(recalls),
+            per_user_ndcg=np.asarray(ndcgs),
+            evaluated_users=np.asarray(users, dtype=int),
+        )

@@ -1,0 +1,160 @@
+"""Beyond Recall/NDCG: the wider ranking- and catalogue-metric toolbox.
+
+The paper reports Recall@20 and NDCG@20.  Downstream users of a FedRec
+library routinely need the rest of the standard battery:
+
+* per-user ranking quality — hit rate, precision, MRR, AUC;
+* catalogue-level health — item coverage and the Gini concentration of
+  recommendations (a heterogeneity-relevant check: if small-client
+  models only ever surface popular items, coverage collapses).
+
+All per-user metrics take a ``ranked`` id sequence (from
+:func:`repro.eval.metrics.rank_items`) and the user's relevant items,
+mirroring the existing Recall/NDCG signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ClientData
+from repro.eval.metrics import rank_items
+
+ScoreFn = Callable[[ClientData], np.ndarray]
+
+
+def hit_rate_at_k(ranked: Sequence[int], relevant: Sequence[int], k: int = 20) -> float:
+    """1 if any relevant item appears in the top K, else 0."""
+    relevant_set = set(int(i) for i in relevant)
+    if not relevant_set:
+        return 0.0
+    return float(any(int(item) in relevant_set for item in list(ranked)[:k]))
+
+
+def precision_at_k(ranked: Sequence[int], relevant: Sequence[int], k: int = 20) -> float:
+    """|top-K ∩ relevant| / K."""
+    relevant_set = set(int(i) for i in relevant)
+    if not relevant_set or k <= 0:
+        return 0.0
+    top = list(ranked)[:k]
+    hits = sum(1 for item in top if int(item) in relevant_set)
+    return hits / float(k)
+
+
+def mrr_at_k(ranked: Sequence[int], relevant: Sequence[int], k: int = 20) -> float:
+    """Reciprocal rank of the first relevant item within the top K."""
+    relevant_set = set(int(i) for i in relevant)
+    if not relevant_set:
+        return 0.0
+    for position, item in enumerate(list(ranked)[:k]):
+        if int(item) in relevant_set:
+            return 1.0 / (position + 1.0)
+    return 0.0
+
+
+def auc_score(
+    scores: np.ndarray,
+    relevant: Sequence[int],
+    exclude: Sequence[int] = (),
+) -> float:
+    """Probability a relevant item outscores a random irrelevant one.
+
+    Computed exactly via the rank-sum (Mann–Whitney) identity over the
+    candidate set (everything except ``exclude``), with the midrank
+    convention for ties.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    relevant = np.asarray(sorted(set(int(i) for i in relevant)), dtype=np.int64)
+    if relevant.size == 0:
+        return 0.0
+    mask = np.ones(scores.size, dtype=bool)
+    if len(exclude):
+        mask[np.asarray(exclude, dtype=np.int64)] = False
+    mask[relevant] = True  # relevant items are always candidates
+    candidates = np.flatnonzero(mask)
+    is_relevant = np.isin(candidates, relevant)
+    n_pos = int(is_relevant.sum())
+    n_neg = candidates.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.0
+    order = scores[candidates]
+    # Midranks handle ties exactly.
+    ranks = np.empty(candidates.size, dtype=np.float64)
+    sorter = np.argsort(order, kind="stable")
+    sorted_scores = order[sorter]
+    ranks_sorted = np.arange(1, candidates.size + 1, dtype=np.float64)
+    unique, inverse, counts = np.unique(
+        sorted_scores, return_inverse=True, return_counts=True
+    )
+    cumulative = np.cumsum(counts)
+    midranks = cumulative - (counts - 1) / 2.0
+    ranks[sorter] = midranks[inverse]
+    rank_sum = float(ranks[is_relevant].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def item_coverage_at_k(
+    score_fn: ScoreFn,
+    clients: Sequence[ClientData],
+    num_items: int,
+    k: int = 20,
+) -> float:
+    """Fraction of the catalogue that appears in at least one user's top K."""
+    if num_items <= 0 or not clients:
+        return 0.0
+    surfaced = np.zeros(num_items, dtype=bool)
+    for client in clients:
+        top = rank_items(score_fn(client), exclude=client.known_items(), k=k)
+        surfaced[top] = True
+    return float(surfaced.sum()) / num_items
+
+
+def recommendation_counts_at_k(
+    score_fn: ScoreFn,
+    clients: Sequence[ClientData],
+    num_items: int,
+    k: int = 20,
+) -> np.ndarray:
+    """How often each item appears across all users' top-K lists."""
+    counts = np.zeros(num_items, dtype=np.int64)
+    for client in clients:
+        top = rank_items(score_fn(client), exclude=client.known_items(), k=k)
+        counts[top] += 1
+    return counts
+
+
+def gini_coefficient(counts: Iterable[float]) -> float:
+    """Gini concentration of a non-negative count vector in [0, 1).
+
+    0 = perfectly even exposure across items; →1 = all recommendations
+    concentrated on a single item.
+    """
+    values = np.sort(np.asarray(list(counts), dtype=np.float64))
+    if values.size == 0:
+        return 0.0
+    if np.any(values < 0):
+        raise ValueError("counts must be non-negative")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    n = values.size
+    indices = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * np.sum(indices * values) - (n + 1) * total) / (n * total))
+
+
+def extended_user_metrics(
+    scores: np.ndarray,
+    client: ClientData,
+    k: int = 20,
+) -> Dict[str, float]:
+    """All per-user metrics for one scored user in one pass."""
+    ranked = rank_items(scores, exclude=client.known_items(), k=k)
+    relevant = client.test_items
+    return {
+        "hit_rate": hit_rate_at_k(ranked, relevant, k=k),
+        "precision": precision_at_k(ranked, relevant, k=k),
+        "mrr": mrr_at_k(ranked, relevant, k=k),
+        "auc": auc_score(scores, relevant, exclude=client.known_items()),
+    }

@@ -1,0 +1,63 @@
+"""Ranking metrics: Recall@K and NDCG@K (paper Section V-B).
+
+Evaluation follows the standard full-ranking protocol used by the paper's
+metric references (LightGCN, etc.): for each user, score every item, mask
+out the items seen during training/validation, rank the rest, and measure
+how many of the held-out test items appear in the top K.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def rank_items(
+    scores: np.ndarray,
+    exclude: Optional[np.ndarray] = None,
+    k: Optional[int] = None,
+) -> np.ndarray:
+    """Item ids sorted by descending score, with ``exclude`` masked out.
+
+    ``k`` truncates the returned ranking (taking it slightly beyond K via a
+    partial sort would be an optimisation; catalogue sizes here are small
+    enough that a full argsort is clearer and cheap).
+    """
+    scores = np.asarray(scores, dtype=np.float64).copy()
+    if exclude is not None and len(exclude):
+        scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
+    order = np.argsort(-scores, kind="stable")
+    if k is not None:
+        order = order[:k]
+    return order
+
+
+def recall_at_k(ranked: Sequence[int], relevant: Sequence[int], k: int = 20) -> float:
+    """|top-K ∩ relevant| / |relevant|; NaN-free (empty relevant → 0)."""
+    relevant_set = set(int(i) for i in relevant)
+    if not relevant_set:
+        return 0.0
+    top = list(ranked)[:k]
+    hits = sum(1 for item in top if int(item) in relevant_set)
+    return hits / len(relevant_set)
+
+
+def ndcg_at_k(ranked: Sequence[int], relevant: Sequence[int], k: int = 20) -> float:
+    """Normalised discounted cumulative gain with binary relevance.
+
+    DCG = Σ_{positions p of hits} 1/log2(p+2); IDCG places all (up to K)
+    relevant items at the top.
+    """
+    relevant_set = set(int(i) for i in relevant)
+    if not relevant_set:
+        return 0.0
+    top = list(ranked)[:k]
+    dcg = sum(
+        1.0 / np.log2(position + 2.0)
+        for position, item in enumerate(top)
+        if int(item) in relevant_set
+    )
+    ideal_hits = min(len(relevant_set), k)
+    idcg = sum(1.0 / np.log2(position + 2.0) for position in range(ideal_hits))
+    return float(dcg / idcg) if idcg > 0 else 0.0

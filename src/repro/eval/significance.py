@@ -1,0 +1,110 @@
+"""Statistical significance for method comparisons.
+
+The paper reports point estimates; a reproduction at reduced scale needs
+to know when a gap is real.  This module provides the standard paired
+tests over per-user metric arrays (both methods evaluated on the same
+users):
+
+* :func:`paired_bootstrap` — probability that method A beats method B
+  under resampling of users, plus the bootstrap CI of the mean gap;
+* :func:`sign_test_pvalue` — a distribution-free sanity check on the
+  per-user win/loss counts.
+
+Used by the analysis notebooks/examples; the benchmark assertions stay
+deterministic (fixed seeds) by design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison (A minus B)."""
+
+    mean_difference: float
+    ci_low: float
+    ci_high: float
+    win_probability: float
+    num_users: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the 95% CI of the gap excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+
+def paired_bootstrap(
+    metric_a: np.ndarray,
+    metric_b: np.ndarray,
+    num_samples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Paired bootstrap over users for the mean metric difference A − B.
+
+    Both arrays must be aligned per user (same evaluation order).
+    """
+    metric_a = np.asarray(metric_a, dtype=np.float64)
+    metric_b = np.asarray(metric_b, dtype=np.float64)
+    if metric_a.shape != metric_b.shape:
+        raise ValueError("paired comparison requires aligned per-user arrays")
+    if metric_a.size == 0:
+        raise ValueError("cannot compare empty metric arrays")
+
+    differences = metric_a - metric_b
+    rng = np.random.default_rng(seed)
+    n = differences.size
+    indices = rng.integers(0, n, size=(num_samples, n))
+    sampled_means = differences[indices].mean(axis=1)
+
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        mean_difference=float(differences.mean()),
+        ci_low=float(np.quantile(sampled_means, alpha)),
+        ci_high=float(np.quantile(sampled_means, 1.0 - alpha)),
+        win_probability=float((sampled_means > 0).mean()),
+        num_users=n,
+    )
+
+
+def sign_test_pvalue(metric_a: np.ndarray, metric_b: np.ndarray) -> float:
+    """Two-sided exact sign test on per-user wins (ties dropped).
+
+    Under H0 (no difference) wins are Binomial(n, 1/2); returns the
+    two-sided tail probability of the observed win count.
+    """
+    metric_a = np.asarray(metric_a, dtype=np.float64)
+    metric_b = np.asarray(metric_b, dtype=np.float64)
+    if metric_a.shape != metric_b.shape:
+        raise ValueError("paired comparison requires aligned per-user arrays")
+    wins = int((metric_a > metric_b).sum())
+    losses = int((metric_a < metric_b).sum())
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = max(wins, losses)
+    # P(X >= k) for X ~ Binomial(n, 1/2), doubled (two-sided), capped at 1.
+    tail = sum(comb(n, i) for i in range(k, n + 1)) / 2.0**n
+    return float(min(1.0, 2.0 * tail))
+
+
+def compare_results(result_a, result_b, metric: str = "ndcg") -> BootstrapResult:
+    """Convenience: paired bootstrap between two ``EvaluationResult``s.
+
+    Aligns users by id (both evaluations must cover the same user set).
+    """
+    users_a = {int(u): i for i, u in enumerate(result_a.evaluated_users)}
+    users_b = {int(u): i for i, u in enumerate(result_b.evaluated_users)}
+    common = sorted(set(users_a) & set(users_b))
+    if not common:
+        raise ValueError("no common evaluated users to compare")
+    attr = f"per_user_{metric}"
+    a = getattr(result_a, attr)[[users_a[u] for u in common]]
+    b = getattr(result_b, attr)[[users_b[u] for u in common]]
+    return paired_bootstrap(a, b)

@@ -1,0 +1,26 @@
+"""Experiment harness: one runner per paper table/figure.
+
+Every artefact of the paper's evaluation section has a module here that
+(1) runs the required training jobs through the shared
+:mod:`repro.experiments.runner`, (2) returns structured rows, and
+(3) formats them the way the paper prints them.  Benchmarks under
+``benchmarks/`` are thin wrappers over these runners.
+
+Artefact index (see DESIGN.md §4):
+Table I → :mod:`table1`; Fig. 1 → :mod:`fig1`; Table II → :mod:`table2`;
+Fig. 6 → :mod:`fig6`; Fig. 7 → :mod:`fig7`; Table III → :mod:`table3`;
+Table IV → :mod:`table4`; Table V → :mod:`table5`; Table VI → :mod:`table6`;
+Table VII → :mod:`table7`; Fig. 8 → :mod:`fig8`.
+"""
+
+from repro.experiments.profiles import PROFILES, ExperimentProfile
+from repro.experiments.runner import RunResult, run_method
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "PROFILES",
+    "ExperimentProfile",
+    "RunResult",
+    "run_method",
+    "format_table",
+]

@@ -1,0 +1,313 @@
+"""Ablation experiments for the repo's own design choices.
+
+DESIGN.md documents several decisions the paper leaves open (Θ
+aggregation mode, server update rule, distillation subset size) and the
+extensions this repo adds (compression, robustness).  Each runner here
+measures one of those choices the same way the paper's tables measure
+its components, reusing the shared cached :func:`repro.experiments.
+runner.run_method` machinery where possible.
+
+Runners (one per ablation bench):
+
+* :func:`run_theta_mode`   — Θ deltas summed (paper Eq. 15 verbatim)
+  vs averaged (this repo's default);
+* :func:`run_server_optimizer` — plain delta application vs
+  FedAvgM/FedAdam/FedYogi pseudo-gradient rules;
+* :func:`run_compression`  — upload codecs vs accuracy and volume;
+* :func:`run_kd_subset`    — RESKD's |V_kd| sweep (cost/benefit of the
+  paper's subsampling);
+* :func:`run_arch_comparison` — NCF / LightGCN / GMF under HeteFedRec
+  and the strongest homogeneous baseline;
+* :func:`run_robustness`   — the poisoning quadrants (clean/attacked ×
+  undefended/defended);
+* :func:`run_systems`      — analytic round wall-clock per method under
+  a bandwidth-constrained device fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.compression.codecs import CompressionConfig
+from repro.core.config import HeteFedRecConfig
+from repro.core.distillation import DistillationConfig
+from repro.data.splitting import train_test_split_per_user
+from repro.data.synthetic import load_benchmark_dataset
+from repro.eval.evaluator import Evaluator
+from repro.experiments.profiles import get_profile
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import RunResult, build_config, run_method
+from repro.federated.aggregation import AggregationConfig
+from repro.federated.server_optim import ServerOptimizerConfig
+from repro.robustness.attacks import AttackConfig
+from repro.robustness.defenses import RobustAggregationConfig
+from repro.robustness.harness import AdversarialHeteFedRec
+
+DATASET = "ml"  # ablations probe design choices; one dataset suffices
+
+
+# ----------------------------------------------------------------------
+# Θ aggregation mode
+# ----------------------------------------------------------------------
+def run_theta_mode(profile: str = "bench", arch: str = "ncf") -> Dict[str, RunResult]:
+    """HeteFedRec with Θ averaged (default) vs summed (Eq. 15 verbatim)."""
+    results = {
+        # No override for the default arm — it shares the Table II cache entry.
+        "theta mean (default)": run_method(
+            DATASET, "hetefedrec", arch=arch, profile=profile
+        ),
+        "theta sum (paper)": run_method(
+            DATASET, "hetefedrec", arch=arch, profile=profile,
+            config_overrides={"aggregation": AggregationConfig(theta_mode="sum")},
+        ),
+    }
+    return results
+
+
+def format_theta_mode(results: Dict[str, RunResult]) -> str:
+    rows = [[label, r.recall, r.ndcg] for label, r in results.items()]
+    return format_table(
+        ["Θ aggregation", "Recall@20", "NDCG@20"],
+        rows,
+        title="Ablation: Θ update combination (DESIGN.md deviation #1)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Server optimiser
+# ----------------------------------------------------------------------
+_SERVER_RULES: Tuple[Tuple[str, object], ...] = (
+    ("direct (paper)", None),
+    ("fedavgm", ServerOptimizerConfig(kind="fedavgm", lr=1.0, momentum=0.5)),
+    ("fedadam", ServerOptimizerConfig(kind="fedadam", lr=0.02)),
+    ("fedyogi", ServerOptimizerConfig(kind="fedyogi", lr=0.02)),
+)
+
+
+def run_server_optimizer(
+    profile: str = "bench", arch: str = "ncf"
+) -> Dict[str, RunResult]:
+    """Aggregated deltas applied directly vs through adaptive server rules."""
+    results = {}
+    for label, rule in _SERVER_RULES:
+        overrides = {} if rule is None else {"server_optimizer": rule}
+        results[label] = run_method(
+            DATASET, "hetefedrec", arch=arch, profile=profile,
+            config_overrides=overrides,
+        )
+    return results
+
+
+def format_server_optimizer(results: Dict[str, RunResult]) -> str:
+    rows = [[label, r.recall, r.ndcg] for label, r in results.items()]
+    return format_table(
+        ["Server rule", "Recall@20", "NDCG@20"],
+        rows,
+        title="Ablation: server-side optimiser (FedOpt family)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Compression
+# ----------------------------------------------------------------------
+_CODECS: Tuple[Tuple[str, object], ...] = (
+    ("dense", None),
+    ("topk 10% + EF", CompressionConfig(kind="topk", ratio=0.1, error_feedback=True)),
+    ("topk 10%, no EF", CompressionConfig(kind="topk", ratio=0.1, error_feedback=False)),
+    ("quantize 8-bit", CompressionConfig(kind="quantize", bits=8)),
+    ("quantize 4-bit", CompressionConfig(kind="quantize", bits=4)),
+)
+
+
+def run_compression(profile: str = "bench", arch: str = "ncf") -> Dict[str, RunResult]:
+    """Upload codecs: ranking quality vs bytes on the wire."""
+    results = {}
+    for label, codec in _CODECS:
+        overrides = {} if codec is None else {"compression": codec}
+        results[label] = run_method(
+            DATASET, "hetefedrec", arch=arch, profile=profile,
+            config_overrides=overrides,
+        )
+    return results
+
+
+def format_compression(results: Dict[str, RunResult]) -> str:
+    baseline = results["dense"].communication_total or 1
+    rows = [
+        [label, f"{r.communication_total / baseline:.2f}x", r.recall, r.ndcg]
+        for label, r in results.items()
+    ]
+    return format_table(
+        ["Codec", "Comm. vol.", "Recall@20", "NDCG@20"],
+        rows,
+        title="Ablation: upload compression (extension)",
+    )
+
+
+# ----------------------------------------------------------------------
+# RESKD subset size
+# ----------------------------------------------------------------------
+def run_kd_subset(
+    profile: str = "bench",
+    arch: str = "ncf",
+    sizes: Sequence[int] = (8, 32, 128),
+) -> Dict[str, RunResult]:
+    """|V_kd| sweep: the paper subsamples 'to avoid heavy computation'."""
+    default_size = DistillationConfig().num_items
+    results = {}
+    for size in sizes:
+        overrides = (
+            {}  # the default size shares the Table II cache entry
+            if size == default_size
+            else {"distillation": DistillationConfig(num_items=size)}
+        )
+        results[f"|V_kd| = {size}"] = run_method(
+            DATASET, "hetefedrec", arch=arch, profile=profile,
+            config_overrides=overrides,
+        )
+    return results
+
+
+def format_kd_subset(results: Dict[str, RunResult]) -> str:
+    rows = [[label, r.recall, r.ndcg] for label, r in results.items()]
+    return format_table(
+        ["Distillation subset", "Recall@20", "NDCG@20"],
+        rows,
+        title="Ablation: RESKD subset size",
+    )
+
+
+# ----------------------------------------------------------------------
+# Architecture generality (NCF / LightGCN / GMF)
+# ----------------------------------------------------------------------
+def run_arch_comparison(
+    profile: str = "bench",
+    archs: Sequence[str] = ("ncf", "lightgcn", "mf"),
+    dataset: str = "anime",
+) -> Dict[str, Dict[str, RunResult]]:
+    """HeteFedRec vs the strongest homogeneous baseline per architecture.
+
+    Runs on Anime by default — the dataset where the bench profile's
+    epoch budget sits at every method's convergence point, so the
+    architecture comparison is not confounded by differential
+    overtraining (see EXPERIMENTS.md on the ML analogue).
+    """
+    results: Dict[str, Dict[str, RunResult]] = {}
+    for arch in archs:
+        results[arch] = {
+            method: run_method(dataset, method, arch=arch, profile=profile)
+            for method in ("all_small", "hetefedrec")
+        }
+    return results
+
+
+def format_arch_comparison(results: Dict[str, Dict[str, RunResult]]) -> str:
+    rows = []
+    for arch, methods in results.items():
+        for method, r in methods.items():
+            rows.append([arch, method, r.recall, r.ndcg])
+    return format_table(
+        ["Arch", "Method", "Recall@20", "NDCG@20"],
+        rows,
+        title="Ablation: base-model generality (incl. GMF extension)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Robustness quadrants
+# ----------------------------------------------------------------------
+def run_robustness(
+    profile: str = "bench", arch: str = "ncf"
+) -> Dict[str, Tuple[float, float]]:
+    """{clean, attacked} × {undefended, defended} → (recall, ndcg).
+
+    Not routed through the run cache: the adversarial trainer is not a
+    registry method and the quadrants share one dataset instance anyway.
+    Metrics are measured over honest clients only.
+    """
+    prof = get_profile(profile)
+    data = load_benchmark_dataset(DATASET, prof.synthetic_config())
+    clients = train_test_split_per_user(data, seed=prof.seed)
+    evaluator = Evaluator(clients, k=20)
+    config = build_config(prof, arch, prof.seed)
+
+    attack = AttackConfig(kind="signflip", fraction=0.2, scale=25.0, seed=7)
+    defense = RobustAggregationConfig(kind="clip", clip_headroom=2.0)
+    quadrants = {
+        "clean / undefended": (None, None),
+        "clean / defended": (None, defense),
+        "attacked / undefended": (attack, None),
+        "attacked / defended": (attack, defense),
+    }
+    results: Dict[str, Tuple[float, float]] = {}
+    for label, (atk, dfs) in quadrants.items():
+        trainer = AdversarialHeteFedRec(
+            data.num_items, clients, config, attack=atk, defense=dfs
+        )
+        trainer.fit()
+        evaluation = evaluator.evaluate(
+            trainer.score_all_items, user_subset=trainer.honest_clients()
+        )
+        results[label] = (evaluation.recall, evaluation.ndcg)
+    return results
+
+
+def format_robustness(results: Dict[str, Tuple[float, float]]) -> str:
+    rows = [[label, recall, ndcg] for label, (recall, ndcg) in results.items()]
+    return format_table(
+        ["Scenario", "Recall@20", "NDCG@20"],
+        rows,
+        title="Ablation: poisoning quadrants (honest clients only)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Systems wall-clock (analytic — no training)
+# ----------------------------------------------------------------------
+def run_systems(
+    profile: str = "bench",
+    methods: Sequence[str] = ("all_small", "all_large", "hetefedrec"),
+) -> Dict[str, Dict[str, float]]:
+    """Round wall-clock per method under a bandwidth-constrained fleet.
+
+    Analytic (seconds to run): converts Table III payloads plus per-client
+    training work into synchronous round times over a log-normal device
+    population — the systems restatement of the communication argument.
+    """
+    from repro.core.grouping import divide_clients
+    from repro.federated.systems import (
+        SystemProfile,
+        round_time_summary,
+        simulate_round_times,
+    )
+
+    prof = get_profile(profile)
+    data = load_benchmark_dataset(DATASET, prof.synthetic_config())
+    clients = train_test_split_per_user(data, seed=prof.seed)
+    group_of = divide_clients(clients, (5, 3, 2))
+    train_sizes = {c.user_id: c.num_train for c in clients}
+    dims = {"s": 8, "m": 16, "l": 32}
+    fleet = SystemProfile(seed=prof.seed, median_bandwidth=2e4, bandwidth_sigma=1.0)
+
+    results: Dict[str, Dict[str, float]] = {}
+    for method in methods:
+        times = simulate_round_times(
+            method, group_of, train_sizes, data.num_items, dims, fleet,
+            clients_per_round=min(prof.clients_per_round, len(clients)),
+            num_rounds=60,
+        )
+        results[method] = round_time_summary(times)
+    return results
+
+
+def format_systems(results: Dict[str, Dict[str, float]]) -> str:
+    rows = [
+        [method, summary["median"], summary["p95"], summary["mean"]]
+        for method, summary in results.items()
+    ]
+    return format_table(
+        ["Method", "Median round (s)", "p95 (s)", "Mean (s)"],
+        rows,
+        title="Ablation: round wall-clock under a 20 kB/s-median fleet",
+        float_format="{:.1f}",
+    )

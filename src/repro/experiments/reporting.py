@@ -1,0 +1,64 @@
+"""Plain-text table formatting for experiment reports.
+
+Prints paper-style tables to stdout without any plotting dependency;
+figures are rendered as aligned numeric series (epoch/value pairs or
+ASCII bars), which is what a terminal-only reproduction can ship.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    float_format: str = "{:.5f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
+    """A horizontal bar scaled to ``maximum`` (for figure-style output)."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * max(value, 0.0) / maximum))
+    return "#" * min(filled, width)
+
+
+def format_series(
+    series: Sequence[tuple],
+    label: str = "",
+    value_format: str = "{:.4f}",
+) -> str:
+    """Render an (x, y) series as one aligned line per point."""
+    lines = [label] if label else []
+    for x, y in series:
+        lines.append(f"  {x:>6}  {value_format.format(y)}")
+    return "\n".join(lines)

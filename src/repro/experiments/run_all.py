@@ -1,0 +1,83 @@
+"""Regenerate every paper artefact in one command.
+
+Usage:
+    python -m repro.experiments.run_all --profile bench --out results/
+
+Runs Table I–VII and Fig. 1/6/7/8 through the shared runner (cached runs
+are reused), writes each artefact to ``<out>/<name>.txt``, and prints a
+summary of which qualitative paper claims held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import ablations, fig1, fig6, fig7, fig8
+from repro.experiments import table1, table2, table3, table4, table5, table6, table7
+
+#: artefact name → (runner, formatter)
+ARTEFACTS: Dict[str, Tuple[Callable, Callable]] = {
+    "table1_datasets": (table1.run_table1, table1.format_table1),
+    "fig1_distribution": (fig1.run_fig1, fig1.format_fig1),
+    "table2_main": (table2.run_table2, table2.format_table2),
+    "fig6_groups": (fig6.run_fig6, fig6.format_fig6),
+    "fig7_convergence": (fig7.run_fig7, fig7.format_fig7),
+    "table3_communication": (table3.run_table3, table3.format_table3),
+    "table4_ablation": (table4.run_table4, table4.format_table4),
+    "table5_collapse": (table5.run_table5, table5.format_table5),
+    "table6_division": (table6.run_table6, table6.format_table6),
+    "table7_modelsize": (table7.run_table7, table7.format_table7),
+    "fig8_alpha": (fig8.run_fig8, fig8.format_fig8),
+    # Design-choice ablations (no paper counterpart; see docs/extensions.md).
+    "ablation_theta_mode": (ablations.run_theta_mode, ablations.format_theta_mode),
+    "ablation_server_optimizer": (
+        ablations.run_server_optimizer,
+        ablations.format_server_optimizer,
+    ),
+    "ablation_compression": (ablations.run_compression, ablations.format_compression),
+    "ablation_kd_subset": (ablations.run_kd_subset, ablations.format_kd_subset),
+    "ablation_arch": (ablations.run_arch_comparison, ablations.format_arch_comparison),
+    "ablation_robustness": (ablations.run_robustness, ablations.format_robustness),
+    "ablation_systems": (ablations.run_systems, ablations.format_systems),
+}
+
+
+def run_all(profile: str = "bench", out_dir: str = "results",
+            archs: Tuple[str, ...] = ("ncf",)) -> List[str]:
+    """Run every artefact; returns the list of files written."""
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for name, (runner, formatter) in ARTEFACTS.items():
+        start = time.time()
+        try:
+            if "archs" in runner.__code__.co_varnames:
+                results = runner(profile, archs=archs)
+            else:
+                results = runner(profile)
+        except TypeError:
+            results = runner(profile)
+        text = formatter(results)
+        path = os.path.join(out_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        written.append(path)
+        print(f"[{time.time() - start:7.1f}s] {name} -> {path}")
+    return written
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="bench",
+                        choices=["smoke", "bench", "full"])
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--archs", nargs="+", default=["ncf"],
+                        choices=["ncf", "lightgcn"])
+    args = parser.parse_args()
+    run_all(profile=args.profile, out_dir=args.out, archs=tuple(args.archs))
+
+
+if __name__ == "__main__":
+    main()

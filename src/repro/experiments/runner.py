@@ -1,0 +1,196 @@
+"""Shared experiment runner with an on-disk result cache.
+
+``run_method`` trains one (dataset, method, architecture) triple under a
+profile and returns a :class:`RunResult` with everything the table/figure
+modules need: overall metrics, per-group metrics, the NDCG-vs-epoch
+curve, communication totals, and collapse diagnostics.
+
+Results are cached as JSON under ``.repro_cache/`` keyed by the exact
+run parameters, so re-running a benchmark suite (or building several
+tables that share runs — Table II, Fig. 6 and Fig. 7 all reuse the same
+training jobs) costs one training run, not three.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.registry import build_method
+from repro.core.config import HeteFedRecConfig
+from repro.core.grouping import divide_clients
+from repro.data.splitting import train_test_split_per_user
+from repro.data.synthetic import load_benchmark_dataset
+from repro.eval.evaluator import Evaluator
+from repro.eval.groups import per_group_metrics
+from repro.experiments.profiles import ExperimentProfile, get_profile
+
+#: Cache directory; co-located with the repository by default.
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", os.path.join(os.getcwd(), ".repro_cache"))
+
+
+@dataclass
+class RunResult:
+    """Everything one training run produces, JSON-serialisable."""
+
+    dataset: str
+    method: str
+    arch: str
+    profile: str
+    recall: float
+    ndcg: float
+    group_recall: Dict[str, float]
+    group_ndcg: Dict[str, float]
+    ndcg_curve: List[Tuple[int, float]]
+    communication_total: int
+    communication_per_round: float
+    collapse: Dict[str, float]
+    seed: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunResult":
+        raw = json.loads(payload)
+        raw["ndcg_curve"] = [tuple(point) for point in raw["ndcg_curve"]]
+        return cls(**raw)
+
+
+def _cache_key(**params) -> str:
+    canonical = json.dumps(params, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:24]
+
+
+def _cache_path(key: str) -> str:
+    return os.path.join(CACHE_DIR, f"{key}.json")
+
+
+def _load_cached(key: str) -> Optional[RunResult]:
+    path = _cache_path(key)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return RunResult.from_json(handle.read())
+    except (json.JSONDecodeError, KeyError, TypeError):
+        # A corrupt cache entry is treated as a miss, not an error.
+        return None
+
+
+def _store_cached(key: str, result: RunResult) -> None:
+    os.makedirs(CACHE_DIR, exist_ok=True)
+    with open(_cache_path(key), "w", encoding="utf-8") as handle:
+        handle.write(result.to_json())
+
+
+def build_config(
+    profile: ExperimentProfile,
+    arch: str,
+    seed: int,
+    **overrides,
+) -> HeteFedRecConfig:
+    """The HeteFedRecConfig a profile implies, with per-experiment overrides."""
+    config = HeteFedRecConfig(
+        arch=arch,
+        epochs=profile.epochs,
+        clients_per_round=profile.clients_per_round,
+        local_epochs=profile.local_epochs,
+        lr=profile.lr,
+        seed=seed,
+        eval_every=max(profile.epochs // 5, 1),
+    )
+    return config.copy_with(**overrides) if overrides else config
+
+
+def run_method(
+    dataset: str,
+    method: str,
+    arch: str = "ncf",
+    profile: str | ExperimentProfile = "bench",
+    seed: int = 0,
+    use_cache: bool = True,
+    config_overrides: Optional[dict] = None,
+) -> RunResult:
+    """Train one method on one dataset and return (cached) results."""
+    prof = profile if isinstance(profile, ExperimentProfile) else get_profile(profile)
+    overrides = config_overrides or {}
+
+    cache_params = dict(
+        dataset=dataset,
+        method=method,
+        arch=arch,
+        profile=prof.name,
+        scale=prof.scale,
+        item_scale=prof.item_scale,
+        epochs=prof.epochs,
+        local_epochs=prof.local_epochs,
+        lr=prof.lr,
+        seed=seed,
+        overrides={k: repr(v) for k, v in sorted(overrides.items())},
+        version=3,  # bump to invalidate on semantic changes
+    )
+    key = _cache_key(**cache_params)
+    if use_cache:
+        cached = _load_cached(key)
+        if cached is not None:
+            return cached
+
+    data = load_benchmark_dataset(dataset, prof.synthetic_config())
+    clients = train_test_split_per_user(data, seed=seed)
+    config = build_config(prof, arch, seed, **overrides)
+    trainer = build_method(method, data.num_items, clients, config)
+    evaluator = Evaluator(clients, k=config.eval_k)
+
+    trainer.fit(evaluator)
+    final = evaluator.evaluate(trainer.score_all_items)
+
+    division = divide_clients(clients, getattr(config, "ratios", (5, 3, 2)))
+    groups = per_group_metrics(final, division)
+
+    collapse = {}
+    if hasattr(trainer, "collapse_diagnostics"):
+        collapse = trainer.collapse_diagnostics()
+    else:
+        from repro.core.decorrelation import singular_value_variance
+
+        collapse = {
+            group: singular_value_variance(model.item_embedding.weight.data)
+            for group, model in trainer.models.items()
+        }
+
+    result = RunResult(
+        dataset=dataset,
+        method=method,
+        arch=arch,
+        profile=prof.name,
+        recall=final.recall,
+        ndcg=final.ndcg,
+        group_recall={g: m.recall for g, m in groups.items()},
+        group_ndcg={g: m.ndcg for g, m in groups.items()},
+        ndcg_curve=[(int(e), float(n)) for e, n in trainer.history.ndcg_curve()],
+        communication_total=trainer.meter.total,
+        communication_per_round=trainer.meter.per_client_round(),
+        collapse={g: float(v) for g, v in collapse.items()},
+        seed=seed,
+    )
+    if use_cache:
+        _store_cached(key, result)
+    return result
+
+
+def clear_cache() -> int:
+    """Delete all cached run results; returns the number removed."""
+    if not os.path.isdir(CACHE_DIR):
+        return 0
+    removed = 0
+    for name in os.listdir(CACHE_DIR):
+        if name.endswith(".json"):
+            os.remove(os.path.join(CACHE_DIR, name))
+            removed += 1
+    return removed

@@ -1,0 +1,78 @@
+"""Table II — overall comparison of HeteFedRec against all six baselines.
+
+Seven methods × {Fed-NCF, Fed-LightGCN} × three datasets, reporting
+Recall@20 / NDCG@20.  The runs are shared (via the runner cache) with
+Fig. 6 and Fig. 7, which analyse the same training jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines.registry import DISPLAY_NAMES, TABLE2_ORDER
+from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import RunResult, run_method
+
+DATASETS = ("ml", "anime", "douban")
+ARCHS = ("ncf", "lightgcn")
+
+
+def run_table2(
+    profile: str | ExperimentProfile = "bench",
+    datasets: Sequence[str] = DATASETS,
+    archs: Sequence[str] = ARCHS,
+    methods: Sequence[str] = TABLE2_ORDER,
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
+    """Run the full grid; returns ``results[arch][dataset][method]``."""
+    results: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
+    for arch in archs:
+        results[arch] = {}
+        for dataset in datasets:
+            results[arch][dataset] = {}
+            for method in methods:
+                results[arch][dataset][method] = run_method(
+                    dataset, method, arch=arch, profile=profile, seed=seed
+                )
+    return results
+
+
+def format_table2(results: Dict[str, Dict[str, Dict[str, RunResult]]]) -> str:
+    """Paper-layout rendering: one block per architecture."""
+    blocks: List[str] = []
+    for arch, per_dataset in results.items():
+        datasets = list(per_dataset)
+        headers = ["Method"]
+        for dataset in datasets:
+            headers += [f"{dataset}:Recall", f"{dataset}:NDCG"]
+        rows = []
+        methods = list(next(iter(per_dataset.values())))
+        for method in methods:
+            row: List = [DISPLAY_NAMES.get(method, method)]
+            for dataset in datasets:
+                run = per_dataset[dataset][method]
+                row += [run.recall, run.ndcg]
+            rows.append(row)
+        blocks.append(
+            format_table(headers, rows, title=f"Table II ({arch}): overall comparison")
+        )
+    return "\n\n".join(blocks)
+
+
+def winner_per_dataset(
+    results: Dict[str, Dict[str, Dict[str, RunResult]]], metric: str = "ndcg"
+) -> Dict[str, Dict[str, str]]:
+    """Which method wins each (arch, dataset) cell — the headline claim."""
+    winners: Dict[str, Dict[str, str]] = {}
+    for arch, per_dataset in results.items():
+        winners[arch] = {}
+        for dataset, per_method in per_dataset.items():
+            winners[arch][dataset] = max(
+                per_method, key=lambda m: getattr(per_method[m], metric)
+            )
+    return winners
+
+
+if __name__ == "__main__":
+    print(format_table2(run_table2()))

@@ -1,0 +1,81 @@
+"""Table V — dimensional collapse: singular-value variance of cov(V_l).
+
+Compares the largest item table's covariance-spectrum spread with and
+without the decorrelation regulariser.  A higher value means the
+spectrum is dominated by few directions — the collapse DDR exists to
+prevent.  Reuses the Table IV runs (full vs −RESKD,DDR) via the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import RunResult, run_method
+
+
+def run_table5(
+    profile: str | ExperimentProfile = "bench",
+    datasets: Sequence[str] = ("ml", "anime", "douban"),
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """``variance[arch][dataset][{'+ DDR', '- DDR'}]`` for the V_l table.
+
+    RESKD is disabled in both arms so the comparison isolates DDR, which
+    is also how the paper's Table V pairs with its ablation.
+    """
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for arch in archs:
+        results[arch] = {}
+        for dataset in datasets:
+            with_ddr = run_method(
+                dataset,
+                "hetefedrec",
+                arch=arch,
+                profile=profile,
+                seed=seed,
+                config_overrides={"enable_reskd": False},
+            )
+            without_ddr = run_method(
+                dataset,
+                "hetefedrec",
+                arch=arch,
+                profile=profile,
+                seed=seed,
+                config_overrides={"enable_reskd": False, "enable_ddr": False},
+            )
+            results[arch][dataset] = {
+                "+ DDR": with_ddr.collapse.get("l", 0.0),
+                "- DDR": without_ddr.collapse.get("l", 0.0),
+            }
+    return results
+
+
+def format_table5(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    blocks: List[str] = []
+    for arch, per_dataset in results.items():
+        headers = ["Variant"] + list(per_dataset)
+        rows = []
+        for variant in ("- DDR", "+ DDR"):
+            row: List = [variant]
+            for dataset in per_dataset:
+                row.append(per_dataset[dataset][variant])
+            rows.append(row)
+        blocks.append(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Table V ({arch}): singular-value variance of cov(V_l) "
+                    "(higher = more collapsed)"
+                ),
+                float_format="{:.4f}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(format_table5(run_table5()))

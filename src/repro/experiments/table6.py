@@ -1,0 +1,74 @@
+"""Table VI — impact of the client-division ratio (RQ4).
+
+Sweeps the U_s:U_m:U_l split over 5:3:2 (conservative), 1:1:1 (neutral)
+and 2:3:5 (optimistic), bracketing with All Small (≈10:0:0) and All Large
+(≈0:0:10), on every dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import RunResult, run_method
+
+RATIOS: Tuple[Tuple[str, tuple], ...] = (
+    ("5:3:2", (5, 3, 2)),
+    ("1:1:1", (1, 1, 1)),
+    ("2:3:5", (2, 3, 5)),
+)
+
+
+def run_table6(
+    profile: str | ExperimentProfile = "bench",
+    datasets: Sequence[str] = ("ml", "anime", "douban"),
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
+    """``results[arch][dataset][column]`` with the paper's five columns."""
+    results: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
+    for arch in archs:
+        results[arch] = {}
+        for dataset in datasets:
+            row: Dict[str, RunResult] = {}
+            row["All Small"] = run_method(
+                dataset, "all_small", arch=arch, profile=profile, seed=seed
+            )
+            for label, ratios in RATIOS:
+                row[label] = run_method(
+                    dataset,
+                    "hetefedrec",
+                    arch=arch,
+                    profile=profile,
+                    seed=seed,
+                    config_overrides={"ratios": ratios},
+                )
+            row["All Large"] = run_method(
+                dataset, "all_large", arch=arch, profile=profile, seed=seed
+            )
+            results[arch][dataset] = row
+    return results
+
+
+def format_table6(results: Dict[str, Dict[str, Dict[str, RunResult]]]) -> str:
+    blocks: List[str] = []
+    columns = ["All Small", "5:3:2", "1:1:1", "2:3:5", "All Large"]
+    for arch, per_dataset in results.items():
+        headers = ["Dataset", "Metric"] + columns
+        rows = []
+        for dataset, per_column in per_dataset.items():
+            rows.append(
+                [dataset, "Recall"] + [per_column[c].recall for c in columns]
+            )
+            rows.append(
+                [dataset, "NDCG"] + [per_column[c].ndcg for c in columns]
+            )
+        blocks.append(
+            format_table(headers, rows, title=f"Table VI ({arch}): client division")
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(format_table6(run_table6()))

@@ -1,0 +1,75 @@
+"""Table VII — impact of the model-size setting (RQ5).
+
+Sweeps {N_s, N_m, N_l} over {2,4,8}, {8,16,32} and {32,64,128} on one
+dataset, comparing All Small, All Large and HeteFedRec under each — the
+paper's evidence that HeteFedRec wins when the size range brackets the
+data's sweet spot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import RunResult, run_method
+
+SIZE_SETTINGS: Tuple[Tuple[str, dict], ...] = (
+    ("{2,4,8}", {"s": 2, "m": 4, "l": 8}),
+    ("{8,16,32}", {"s": 8, "m": 16, "l": 32}),
+    ("{32,64,128}", {"s": 32, "m": 64, "l": 128}),
+)
+
+METHODS = ("all_small", "all_large", "hetefedrec")
+
+
+def run_table7(
+    profile: str | ExperimentProfile = "bench",
+    dataset: str = "ml",
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    seed: int = 0,
+) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
+    """``results[arch][setting_label][method]`` (NDCG is the paper's metric)."""
+    results: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
+    for arch in archs:
+        results[arch] = {}
+        for label, dims in SIZE_SETTINGS:
+            results[arch][label] = {
+                method: run_method(
+                    dataset,
+                    method,
+                    arch=arch,
+                    profile=profile,
+                    seed=seed,
+                    config_overrides={"dims": dims},
+                )
+                for method in METHODS
+            }
+    return results
+
+
+def format_table7(results: Dict[str, Dict[str, Dict[str, RunResult]]]) -> str:
+    blocks: List[str] = []
+    labels = [label for label, _ in SIZE_SETTINGS]
+    for arch, per_setting in results.items():
+        headers = ["Method"] + labels
+        rows = []
+        for method in METHODS:
+            display = {
+                "all_small": "All Small",
+                "all_large": "All Large",
+                "hetefedrec": "HeteFedRec",
+            }[method]
+            rows.append([display] + [per_setting[label][method].ndcg for label in labels])
+        blocks.append(
+            format_table(
+                headers,
+                rows,
+                title=f"Table VII ({arch} on ml): NDCG@20 by model-size setting",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":
+    print(format_table7(run_table7()))

@@ -1,0 +1,120 @@
+"""Server-side aggregation: padding-based heterogeneous aggregation.
+
+Implements the paper's Eq. 7–9 (item embeddings) and Eq. 15 (predictor
+heads).  The padding trick: zero-pad every uploaded item-embedding delta
+to the widest dimension, sum, and let each width class read back its
+column prefix.  With shared-prefix initialisation this preserves the
+nesting invariant ``V_s = V_m[:, :Ns] = V_l[:, :Ns]`` (Eq. 10).
+
+A deliberate, documented deviation (see DESIGN.md §2): head (Θ) updates
+default to *averaging* rather than the paper's summation because a dense
+sum over hundreds of clients diverges at small scale; both modes are
+selectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.federated.payload import ClientUpdate
+
+
+@dataclass
+class AggregationConfig:
+    """How client deltas combine into global parameter movements.
+
+    ``embedding_mode``:
+        'sum' (paper Eq. 8 — stable because per-client embedding updates
+        touch nearly disjoint item rows) or 'mean'.
+    ``theta_mode``:
+        'mean' (default, stable) or 'sum' (paper Eq. 15 verbatim).
+    ``server_lr``:
+        Scale applied to aggregated deltas before updating globals.
+    """
+
+    embedding_mode: str = "sum"
+    theta_mode: str = "mean"
+    server_lr: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name, mode in (("embedding_mode", self.embedding_mode),
+                           ("theta_mode", self.theta_mode)):
+            if mode not in ("sum", "mean"):
+                raise ValueError(f"{name} must be 'sum' or 'mean', got {mode!r}")
+
+
+def pad_columns(delta: np.ndarray, target_width: int) -> np.ndarray:
+    """Zero-pad a (rows × w) delta to (rows × target_width) — Eq. 7."""
+    rows, width = delta.shape
+    if width > target_width:
+        raise ValueError(f"cannot pad width {width} down to {target_width}")
+    if width == target_width:
+        return delta
+    padded = np.zeros((rows, target_width), dtype=delta.dtype)
+    padded[:, :width] = delta
+    return padded
+
+
+def padded_embedding_aggregate(
+    updates: Sequence[ClientUpdate],
+    dims: Mapping[str, int],
+    mode: str = "sum",
+) -> Dict[str, np.ndarray]:
+    """Aggregate heterogeneous item-embedding deltas (Eq. 8).
+
+    Pads every delta to the widest dimension, combines, and slices the
+    per-group prefixes back out.  Returns ``{group: delta}`` for each group
+    in ``dims``.  In 'mean' mode each *column block* is divided by the
+    number of clients that actually contributed to it (clients with narrow
+    tables never touch the trailing columns, so a global mean would
+    underweight them).
+    """
+    if not updates:
+        return {}
+    widest = max(dims.values())
+    rows = updates[0].embedding_delta.shape[0]
+    total = np.zeros((rows, widest), dtype=np.float64)
+    contributors = np.zeros(widest, dtype=np.float64)
+    for update in updates:
+        delta = update.embedding_delta
+        total += pad_columns(delta, widest)
+        contributors[: delta.shape[1]] += 1.0
+
+    if mode == "mean":
+        safe = np.maximum(contributors, 1.0)
+        total = total / safe[np.newaxis, :]
+
+    return {group: total[:, :width].copy() for group, width in dims.items()}
+
+
+def aggregate_head_updates(
+    updates: Sequence[ClientUpdate],
+    mode: str = "mean",
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Aggregate predictor-head deltas per head group (Eq. 15).
+
+    Each client upload may carry deltas for several heads (a large client
+    trains Θ_s, Θ_m and Θ_l under dual-task learning); every head key is
+    combined over all clients that sent it.
+    """
+    sums: Dict[str, Dict[str, np.ndarray]] = {}
+    counts: Dict[str, int] = {}
+    for update in updates:
+        for head_group, delta in update.head_deltas.items():
+            bucket = sums.setdefault(head_group, {})
+            counts[head_group] = counts.get(head_group, 0) + 1
+            for name, array in delta.items():
+                if name in bucket:
+                    bucket[name] = bucket[name] + array
+                else:
+                    bucket[name] = array.copy()
+
+    if mode == "mean":
+        for head_group, bucket in sums.items():
+            divisor = float(counts[head_group])
+            for name in bucket:
+                bucket[name] = bucket[name] / divisor
+    return sums

@@ -1,0 +1,163 @@
+"""Client availability: offline devices and stragglers.
+
+The paper's motivation (footnote 5) names "disparities in computational
+power, energy constraints, bandwidth" as the resource diversity that
+model heterogeneity addresses.  Real deployments see that diversity as
+*availability*: a selected device may be offline (never trains this
+round) or a straggler (its update arrives after the round closed).
+This module simulates both behaviours on top of any trainer:
+
+* **offline** — the client drops out of the round before training;
+  the server simply aggregates fewer updates (and, under secure
+  aggregation, runs dropout recovery);
+* **straggler** — the client trains, but its update misses the round's
+  aggregation and is applied *stale* in the next round (the buffered /
+  asynchronous aggregation model of FedBuff), optionally down-weighted.
+
+Enable by setting ``FederatedConfig.availability``; determinism comes
+from hashing (seed, epoch, round, user), so runs are reproducible and
+availability is independent of client iteration order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.federated.payload import ClientUpdate
+
+#: Per-round client fates.
+OK, OFFLINE, STRAGGLER = "ok", "offline", "straggler"
+
+
+@dataclass
+class AvailabilityConfig:
+    """Probabilities of the three per-round client fates.
+
+    ``offline_rate`` + ``straggler_rate`` must stay below 1; whatever
+    remains is the on-time probability.  ``staleness_weight`` scales a
+    straggler's update when it is finally applied (1.0 = apply as-is;
+    the FedBuff-style discount is < 1).
+    """
+
+    offline_rate: float = 0.1
+    straggler_rate: float = 0.1
+    staleness_weight: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name, rate in (("offline_rate", self.offline_rate),
+                           ("straggler_rate", self.straggler_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {rate}")
+        if self.offline_rate + self.straggler_rate >= 1.0:
+            raise ValueError(
+                "offline_rate + straggler_rate must leave room for on-time "
+                f"clients, got {self.offline_rate} + {self.straggler_rate}"
+            )
+        if not 0.0 <= self.staleness_weight <= 1.0:
+            raise ValueError(
+                f"staleness_weight must be in [0, 1], got {self.staleness_weight}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.offline_rate > 0 or self.straggler_rate > 0
+
+
+def client_fate(
+    config: AvailabilityConfig, epoch: int, round_index: int, user_id: int
+) -> str:
+    """This client's fate this round — deterministic in all arguments."""
+    digest = hashlib.sha256(
+        f"{config.seed}:{epoch}:{round_index}:{user_id}".encode()
+    ).digest()
+    draw = int.from_bytes(digest[:8], "little") / float(2**64)
+    if draw < config.offline_rate:
+        return OFFLINE
+    if draw < config.offline_rate + config.straggler_rate:
+        return STRAGGLER
+    return OK
+
+
+def split_round(
+    config: AvailabilityConfig,
+    epoch: int,
+    round_index: int,
+    user_ids: Sequence[int],
+) -> Tuple[List[int], List[int], List[int]]:
+    """Partition a round's selected users into (on_time, stragglers, offline)."""
+    on_time: List[int] = []
+    stragglers: List[int] = []
+    offline: List[int] = []
+    for user_id in user_ids:
+        fate = client_fate(config, epoch, round_index, int(user_id))
+        if fate == OK:
+            on_time.append(int(user_id))
+        elif fate == STRAGGLER:
+            stragglers.append(int(user_id))
+        else:
+            offline.append(int(user_id))
+    return on_time, stragglers, offline
+
+
+def merge_duplicate_users(updates: Sequence[ClientUpdate]) -> List[ClientUpdate]:
+    """Combine multiple uploads from the same user into one (summed) upload.
+
+    A user can legitimately appear twice in one aggregation: a buffered
+    straggler update from the previous round plus a fresh on-time one.
+    Aggregation is additive, so summing the deltas first is equivalent —
+    and required under secure aggregation, where each participant may
+    hold exactly one masking slot per round.
+    """
+    merged: dict = {}
+    order: List[int] = []
+    for update in updates:
+        existing = merged.get(update.user_id)
+        if existing is None:
+            merged[update.user_id] = update
+            order.append(update.user_id)
+            continue
+        heads = {
+            group: dict(state) for group, state in existing.head_deltas.items()
+        }
+        for group, state in update.head_deltas.items():
+            bucket = heads.setdefault(group, {})
+            for name, values in state.items():
+                bucket[name] = bucket[name] + values if name in bucket else values.copy()
+        merged[update.user_id] = ClientUpdate(
+            user_id=existing.user_id,
+            group=existing.group,
+            embedding_delta=existing.embedding_delta + update.embedding_delta,
+            head_deltas=heads,
+            num_examples=existing.num_examples + update.num_examples,
+            train_loss=update.train_loss,
+        )
+    return [merged[user_id] for user_id in order]
+
+
+class StragglerBuffer:
+    """Holds late updates until the next round applies them, down-weighted."""
+
+    def __init__(self, staleness_weight: float = 0.5) -> None:
+        self.staleness_weight = staleness_weight
+        self._pending: List[ClientUpdate] = []
+
+    def add(self, updates: Iterable[ClientUpdate]) -> None:
+        for update in updates:
+            self._pending.append(update.scaled(self.staleness_weight))
+
+    def drain(self) -> List[ClientUpdate]:
+        """Pop everything buffered (applied together with the next round)."""
+        drained, self._pending = self._pending, []
+        return drained
+
+    def discard_user(self, user_id: int) -> None:
+        """Drop any buffered update from ``user_id`` (client retirement)."""
+        self._pending = [u for u in self._pending if u.user_id != user_id]
+
+    def __len__(self) -> int:
+        return len(self._pending)

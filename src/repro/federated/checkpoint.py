@@ -1,0 +1,114 @@
+"""Checkpointing: persist and restore a federated training run.
+
+Saves everything needed to resume or deploy: the per-group public
+parameters, every client's private user embedding, the group assignment
+and the config — as a single ``.npz`` plus a JSON sidecar (numpy has no
+safe way to embed arbitrary metadata in ``.npz``).
+
+Deploy-side, :func:`load_inference_model` restores just one group's
+model for serving without reconstructing the trainer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.models.factory import build_model
+
+
+def _flatten_states(trainer) -> Dict[str, np.ndarray]:
+    """All public parameters under ``model/{group}/{param}`` keys, plus
+    user embeddings under ``user/{id}``."""
+    arrays: Dict[str, np.ndarray] = {}
+    for group, model in trainer.models.items():
+        for name, values in model.state_dict().items():
+            arrays[f"model/{group}/{name}"] = values
+    for user_id, runtime in trainer.runtimes.items():
+        arrays[f"user/{user_id}"] = runtime.user_embedding
+    return arrays
+
+
+def save_checkpoint(trainer, path: str) -> None:
+    """Write ``path`` (.npz) and ``path + '.meta.json'``."""
+    arrays = _flatten_states(trainer)
+    np.savez_compressed(path, **arrays)
+
+    config = trainer.config
+    meta = {
+        "method": getattr(trainer, "method_name", "federated"),
+        "arch": config.arch,
+        "dims": dict(config.dims),
+        "hidden": list(config.hidden),
+        "num_items": trainer.num_items,
+        "group_of": {str(u): g for u, g in trainer.group_of.items()},
+        "seed": config.seed,
+    }
+    with open(path + ".meta.json", "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+
+
+def load_checkpoint(trainer, path: str) -> None:
+    """Restore public parameters and user embeddings in place.
+
+    The trainer must have been constructed with a compatible config
+    (same groups, dims and client set); mismatches raise rather than
+    silently truncating.
+    """
+    archive = np.load(path if path.endswith(".npz") else path + ".npz")
+    for group, model in trainer.models.items():
+        state = {}
+        prefix = f"model/{group}/"
+        for key in archive.files:
+            if key.startswith(prefix):
+                state[key[len(prefix):]] = archive[key]
+        if not state:
+            raise KeyError(f"checkpoint has no parameters for group {group!r}")
+        model.load_state_dict(state)
+    for user_id, runtime in trainer.runtimes.items():
+        key = f"user/{user_id}"
+        if key not in archive.files:
+            raise KeyError(f"checkpoint has no embedding for user {user_id}")
+        runtime.commit_user_embedding(archive[key])
+
+
+def load_inference_model(path: str, group: str):
+    """Rebuild one group's recommender from a checkpoint for serving.
+
+    Returns ``(model, meta)``; score a user by passing their embedding
+    (also in the checkpoint, under ``user/{id}``) to ``model.logits``.
+    """
+    with open(path + ".meta.json", "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    if group not in meta["dims"]:
+        raise KeyError(f"group {group!r} not in checkpoint (has {sorted(meta['dims'])})")
+
+    archive = np.load(path if path.endswith(".npz") else path + ".npz")
+    model = build_model(
+        meta["arch"],
+        num_items=meta["num_items"],
+        dim=meta["dims"][group],
+        hidden=tuple(meta["hidden"]),
+        rng=np.random.default_rng(meta["seed"]),
+    )
+    prefix = f"model/{group}/"
+    state = {
+        key[len(prefix):]: archive[key]
+        for key in archive.files
+        if key.startswith(prefix)
+    }
+    model.load_state_dict(state)
+    return model, meta
+
+
+def user_embedding_from_checkpoint(path: str, user_id: int) -> np.ndarray:
+    """Fetch one user's private embedding from a checkpoint."""
+    archive = np.load(path if path.endswith(".npz") else path + ".npz")
+    key = f"user/{user_id}"
+    if key not in archive.files:
+        raise KeyError(f"no embedding stored for user {user_id}")
+    return archive[key]

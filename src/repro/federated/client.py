@@ -1,0 +1,80 @@
+"""Client-side runtime: the state that lives on a simulated device.
+
+Holds exactly what the paper keeps private to a client: the user
+embedding ``u_i`` (Eq. 3 — updated locally, never uploaded) plus local
+utilities (negative sampler, RNG).  The model parameters a client trains
+are *borrowed* from the trainer for the duration of a local session; this
+runtime persists only across-round private state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import ClientData
+from repro.data.sampling import NegativeSampler, TrainingBatch, build_training_batch
+from repro.nn.module import Parameter
+
+
+class ClientRuntime:
+    """Private, persistent per-client state in the simulation."""
+
+    def __init__(
+        self,
+        data: ClientData,
+        embedding_dim: int,
+        num_items: int,
+        seed: int = 0,
+        init_std: float = 0.01,
+    ) -> None:
+        self.data = data
+        self.embedding_dim = embedding_dim
+        self.rng = np.random.default_rng(seed * 1_000_003 + data.user_id)
+        self.sampler = NegativeSampler(num_items, seed=seed * 7_919 + data.user_id)
+        self.user_embedding = self.rng.normal(0.0, init_std, size=embedding_dim)
+
+    @property
+    def user_id(self) -> int:
+        return self.data.user_id
+
+    @property
+    def num_train(self) -> int:
+        return self.data.num_train
+
+    def user_parameter(self) -> Parameter:
+        """Wrap the private embedding as a trainable parameter for a session."""
+        return Parameter(self.user_embedding.copy(), name=f"user_{self.user_id}")
+
+    def commit_user_embedding(self, values: np.ndarray) -> None:
+        """Persist the locally updated private embedding (Eq. 3)."""
+        if values.shape != self.user_embedding.shape:
+            raise ValueError(
+                f"user embedding shape changed: {values.shape} vs "
+                f"{self.user_embedding.shape}"
+            )
+        self.user_embedding = values.copy()
+
+    def resize_embedding(self, new_dim: int) -> None:
+        """Re-dimension the private embedding (used by division-ratio sweeps).
+
+        Keeps the prefix when shrinking and pads fresh noise when growing,
+        mirroring how the item tables nest.
+        """
+        if new_dim == self.embedding_dim:
+            return
+        fresh = self.rng.normal(0.0, 0.01, size=new_dim)
+        keep = min(new_dim, self.embedding_dim)
+        fresh[:keep] = self.user_embedding[:keep]
+        self.user_embedding = fresh
+        self.embedding_dim = new_dim
+
+    def sample_batch(self, negative_ratio: int = 4) -> TrainingBatch:
+        """Local positives + sampled negatives, shuffled (Section V-A)."""
+        return build_training_batch(
+            self.data,
+            self.sampler,
+            negative_ratio=negative_ratio,
+            shuffle_rng=self.rng,
+        )

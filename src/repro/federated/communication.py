@@ -1,0 +1,111 @@
+"""Communication-cost accounting (paper Table III).
+
+Two complementary views:
+
+* :func:`transmission_cost` — the *analytic* one-time transfer size for a
+  client of a given type under a given method, exactly the formulas of
+  Table III (``size(V_a + Θ_...)`` in scalar parameters);
+* :class:`CommunicationMeter` — an *empirical* meter the trainer feeds
+  with every simulated download/upload, so experiments can report measured
+  totals alongside the analytic ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+
+def head_parameter_count(dim: int, hidden: Sequence[int] = (8, 8)) -> int:
+    """Scalar parameters of a Θ head for embedding width ``dim``.
+
+    Matches :class:`repro.models.base.ScoringHead`: Linear(2·dim → h1) →
+    Linear(h1 → h2) → Linear(h_last → 1), each with bias, plus the
+    bias-free GMF path (``dim`` weights).
+    """
+    widths = [2 * dim, *hidden, 1]
+    mlp = sum(w_in * w_out + w_out for w_in, w_out in zip(widths[:-1], widths[1:]))
+    return mlp + dim
+
+
+def embedding_parameter_count(num_items: int, dim: int) -> int:
+    """Scalar parameters of an item table ``V`` of width ``dim``."""
+    return num_items * dim
+
+
+def transmission_cost(
+    method: str,
+    client_group: str,
+    num_items: int,
+    dims: Mapping[str, int],
+    hidden: Sequence[int] = (8, 8),
+) -> int:
+    """One-time transfer size (in scalars) per Table III.
+
+    ``method`` ∈ {'all_small', 'all_large', 'hetefedrec'};
+    ``client_group`` ∈ {'s', 'm', 'l'}.
+
+    * All Small: every client moves ``V_s + Θ_s``.
+    * All Large: every client moves ``V_l + Θ_l``.
+    * HeteFedRec: a client of group *a* moves ``V_a`` plus the heads of
+      every group no larger than *a* (Θ_s for U_s; Θ_s+Θ_m for U_m;
+      Θ_s+Θ_m+Θ_l for U_l) — the dual-task requirement of Eq. 11.
+    """
+    order = ["s", "m", "l"]
+    if client_group not in order:
+        raise ValueError(f"unknown client group {client_group!r}")
+    if method == "all_small":
+        return embedding_parameter_count(num_items, dims["s"]) + head_parameter_count(
+            dims["s"], hidden
+        )
+    if method == "all_large":
+        return embedding_parameter_count(num_items, dims["l"]) + head_parameter_count(
+            dims["l"], hidden
+        )
+    if method == "hetefedrec":
+        upto = order.index(client_group) + 1
+        total = embedding_parameter_count(num_items, dims[client_group])
+        for group in order[:upto]:
+            total += head_parameter_count(dims[group], hidden)
+        return total
+    raise ValueError(f"unknown method {method!r}")
+
+
+@dataclass
+class CommunicationMeter:
+    """Accumulates simulated transfer volumes, split by direction and group."""
+
+    downloads: Dict[str, int] = field(default_factory=dict)
+    uploads: Dict[str, int] = field(default_factory=dict)
+    client_rounds: int = 0
+
+    def record(self, group: str, download: int, upload: int) -> None:
+        self.downloads[group] = self.downloads.get(group, 0) + int(download)
+        self.uploads[group] = self.uploads.get(group, 0) + int(upload)
+        self.client_rounds += 1
+
+    @property
+    def total_download(self) -> int:
+        return sum(self.downloads.values())
+
+    @property
+    def total_upload(self) -> int:
+        return sum(self.uploads.values())
+
+    @property
+    def total(self) -> int:
+        return self.total_download + self.total_upload
+
+    def per_client_round(self) -> float:
+        """Average scalars moved per client participation."""
+        if self.client_rounds == 0:
+            return 0.0
+        return self.total / self.client_rounds
+
+    def summary(self) -> Dict[str, Tuple[int, int]]:
+        """``{group: (download, upload)}`` totals."""
+        groups = sorted(set(self.downloads) | set(self.uploads))
+        return {
+            group: (self.downloads.get(group, 0), self.uploads.get(group, 0))
+            for group in groups
+        }

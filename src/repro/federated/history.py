@@ -1,0 +1,56 @@
+"""Per-epoch training history (the data behind Fig. 7).
+
+Each epoch record stores the mean local training loss and, when an
+evaluation ran that epoch, the global Recall@K / NDCG@K.  ``best_epoch``
+and convergence queries support the RQ2 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class EpochRecord:
+    epoch: int
+    train_loss: float
+    recall: Optional[float] = None
+    ndcg: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """Append-only log of epoch records for one training run."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+
+    def log(self, epoch: int, train_loss: float,
+            recall: Optional[float] = None, ndcg: Optional[float] = None) -> None:
+        self.records.append(EpochRecord(epoch, train_loss, recall, ndcg))
+
+    def evaluated(self) -> List[EpochRecord]:
+        """Records that include an evaluation."""
+        return [r for r in self.records if r.ndcg is not None]
+
+    def ndcg_curve(self) -> List[tuple]:
+        """``[(epoch, ndcg), ...]`` — one series of Fig. 7."""
+        return [(r.epoch, r.ndcg) for r in self.evaluated()]
+
+    def best_epoch(self) -> Optional[EpochRecord]:
+        """Record with the highest NDCG (ties: earliest)."""
+        evaluated = self.evaluated()
+        if not evaluated:
+            return None
+        return max(evaluated, key=lambda r: (r.ndcg, -r.epoch))
+
+    def epochs_to_reach(self, ndcg_threshold: float) -> Optional[int]:
+        """First epoch whose NDCG reaches ``ndcg_threshold`` (RQ2), or None."""
+        for record in self.evaluated():
+            if record.ndcg >= ndcg_threshold:
+                return record.epoch
+        return None
+
+    def final(self) -> Optional[EpochRecord]:
+        evaluated = self.evaluated()
+        return evaluated[-1] if evaluated else None

@@ -1,0 +1,70 @@
+"""Update payloads: what a client uploads to the server.
+
+A :class:`ClientUpdate` carries the client's item-embedding delta and the
+deltas of every predictor head it trained this round, plus enough
+metadata for the server to aggregate and account communication.  Deltas
+(post-training minus pre-training values) stand in for the accumulated
+``-lr·∇`` of the paper's Eq. 4: with one local gradient step they are
+identical, and with several they are the standard FedAvg generalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+
+def state_delta(
+    after: Mapping[str, np.ndarray], before: Mapping[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Elementwise ``after - before`` over aligned state dicts."""
+    if set(after) != set(before):
+        raise KeyError("state dicts do not describe the same parameters")
+    return {name: after[name] - before[name] for name in after}
+
+
+def state_size(state: Mapping[str, np.ndarray]) -> int:
+    """Number of scalar parameters in a state dict (communication unit)."""
+    return int(sum(array.size for array in state.values()))
+
+
+@dataclass
+class ClientUpdate:
+    """One client's upload for one round."""
+
+    user_id: int
+    group: str
+    embedding_delta: np.ndarray
+    head_deltas: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+    num_examples: int = 0
+    train_loss: float = 0.0
+    #: Wire cost in scalar-equivalents when the upload was compressed;
+    #: ``None`` means the dense size applies.  See :mod:`repro.compression`.
+    upload_size_override: Optional[float] = None
+
+    @property
+    def upload_size(self) -> float:
+        """Scalar count of the upload (drives Table III accounting)."""
+        if self.upload_size_override is not None:
+            return float(self.upload_size_override)
+        total = int(self.embedding_delta.size)
+        for head in self.head_deltas.values():
+            total += state_size(head)
+        return float(total)
+
+    def scaled(self, factor: float) -> "ClientUpdate":
+        """Return a copy with all deltas multiplied by ``factor``."""
+        return ClientUpdate(
+            user_id=self.user_id,
+            group=self.group,
+            embedding_delta=self.embedding_delta * factor,
+            head_deltas={
+                group: {name: array * factor for name, array in head.items()}
+                for group, head in self.head_deltas.items()
+            },
+            num_examples=self.num_examples,
+            train_loss=self.train_loss,
+            upload_size_override=self.upload_size_override,
+        )

@@ -1,0 +1,484 @@
+"""The federated training loop (paper Section III-A, Algorithm 1 skeleton).
+
+:class:`FederatedTrainer` implements the complete homogeneous/heterogeneous
+FedRec protocol with overridable hooks; the concrete methods of the paper
+plug in as subclasses:
+
+==========================  =====================================================
+Method                      Subclass / configuration
+==========================  =====================================================
+All Small / All Large       single group with dim N_s / N_l (``repro.baselines``)
+All Large / Exclusive       + ``excluded_uploaders`` (updates dropped server-side)
+Directly Aggregate          heterogeneous groups + this base class unchanged
+Clustered FedRec            overrides embedding aggregation to within-group
+Standalone                  overrides persistence: no aggregation, local models
+HeteFedRec                  overrides ``client_loss`` (UDL + DDR) and
+                            ``post_aggregate`` (RESKD)
+==========================  =====================================================
+
+Round semantics follow the paper (Section V-D): at the start of an epoch
+the server shuffles the client queue, then traverses it in rounds of
+``clients_per_round`` clients; every client in a round trains from the
+same global snapshot and updates are aggregated at the end of the round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.dataset import ClientData
+from repro.data.sampling import TrainingBatch
+from repro.eval.evaluator import Evaluator
+from repro.federated.aggregation import (
+    AggregationConfig,
+    aggregate_head_updates,
+    padded_embedding_aggregate,
+)
+from repro.federated.client import ClientRuntime
+from repro.federated.communication import CommunicationMeter, head_parameter_count
+from repro.federated.history import TrainingHistory
+from repro.federated.availability import (
+    AvailabilityConfig,
+    StragglerBuffer,
+    merge_duplicate_users,
+    split_round,
+)
+from repro.federated.payload import ClientUpdate, state_delta, state_size
+from repro.federated.privacy import PrivacyConfig, protect_update
+from repro.federated.secure_agg import SecureAggregationConfig, secure_aggregate_updates
+from repro.federated.server_optim import ServerOptimizer, ServerOptimizerConfig
+from repro.compression.client import ClientCompressor
+from repro.compression.codecs import CompressionConfig
+from repro.models.factory import build_model
+from repro.nn import init as nn_init
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam, SGD
+
+
+@dataclass
+class FederatedConfig:
+    """Hyper-parameters of a federated training run.
+
+    Defaults follow the paper's Section V-D: Adam with lr 0.001, negative
+    ratio 1:4, dims {8, 16, 32}, 256 clients per round, heads [2N, 8, 8].
+    """
+
+    arch: str = "ncf"
+    dims: Dict[str, int] = field(default_factory=lambda: {"s": 8, "m": 16, "l": 32})
+    hidden: Tuple[int, ...] = (8, 8)
+    epochs: int = 20
+    clients_per_round: int = 256
+    local_epochs: int = 4
+    lr: float = 0.01
+    negative_ratio: int = 4
+    aggregation: AggregationConfig = field(default_factory=AggregationConfig)
+    seed: int = 0
+    eval_every: int = 1
+    eval_k: int = 20
+    embedding_init_std: float = 0.01
+    #: Optional upload protection (clipping / LDP noise / pseudo-items);
+    #: see :mod:`repro.federated.privacy`.  ``None`` = no protection.
+    privacy: Optional["PrivacyConfig"] = None
+    #: Optional secure aggregation (pairwise-masked sums); the server then
+    #: only ever sees per-round sums.  See :mod:`repro.federated.secure_agg`.
+    secure_aggregation: Optional["SecureAggregationConfig"] = None
+    #: Optional update compression applied to every upload; see
+    #: :mod:`repro.compression`.  ``None`` = dense uploads.
+    compression: Optional["CompressionConfig"] = None
+    #: Optional server-side optimiser for applying aggregated deltas
+    #: (FedAvgM / FedAdam / FedYogi); ``None`` = plain ``server_lr`` scaling.
+    server_optimizer: Optional["ServerOptimizerConfig"] = None
+    #: Optional offline/straggler simulation; see
+    #: :mod:`repro.federated.availability`.  ``None`` = everyone on time.
+    availability: Optional["AvailabilityConfig"] = None
+
+    def copy_with(self, **overrides) -> "FederatedConfig":
+        """Functional update (used heavily by the experiment sweeps)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+class FederatedTrainer:
+    """Simulated central server plus the fleet of client runtimes."""
+
+    method_name = "federated"
+
+    def __init__(
+        self,
+        num_items: int,
+        clients: Sequence[ClientData],
+        group_of: Mapping[int, str],
+        config: FederatedConfig,
+        excluded_uploaders: Optional[Set[int]] = None,
+    ) -> None:
+        self.num_items = num_items
+        self.clients = list(clients)
+        self.group_of = dict(group_of)
+        self.config = config
+        self.excluded_uploaders = excluded_uploaders or set()
+        self.meter = CommunicationMeter()
+        self.history = TrainingHistory()
+        self._rng = np.random.default_rng(config.seed)
+        self._round_counter = 0
+        self._compressor = (
+            ClientCompressor(config.compression)
+            if config.compression is not None and config.compression.kind != "none"
+            else None
+        )
+        self._server_opt = (
+            ServerOptimizer(config.server_optimizer)
+            if config.server_optimizer is not None
+            else None
+        )
+        self._straggler_buffer = (
+            StragglerBuffer(config.availability.staleness_weight)
+            if config.availability is not None and config.availability.enabled
+            else None
+        )
+        if (
+            config.secure_aggregation is not None
+            and type(self).aggregate_embeddings is not FederatedTrainer.aggregate_embeddings
+        ):
+            raise ValueError(
+                "secure aggregation implements the padded-sum path and cannot "
+                f"honour {type(self).__name__}'s custom embedding aggregation"
+            )
+
+        missing = [c.user_id for c in self.clients if c.user_id not in self.group_of]
+        if missing:
+            raise KeyError(f"clients without group assignment: {missing[:5]}...")
+
+        self.groups: List[str] = sorted(
+            set(self.group_of.values()), key=lambda g: config.dims[g]
+        )
+        self._build_models()
+        self._build_runtimes()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_models(self) -> None:
+        """One model per group, item tables initialised with shared prefixes.
+
+        Shared-prefix initialisation realises the paper's Eq. 10
+        precondition; for a single homogeneous group it degenerates to a
+        plain Gaussian init.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        dims = {g: cfg.dims[g] for g in self.groups}
+        tables = nn_init.nested_embedding_tables(
+            self.num_items, list(dims.values()), std=cfg.embedding_init_std, rng=rng
+        )
+        self.models = {}
+        for group in self.groups:
+            self.models[group] = build_model(
+                cfg.arch,
+                num_items=self.num_items,
+                dim=dims[group],
+                hidden=cfg.hidden,
+                rng=rng,
+                item_weight=tables[dims[group]],
+            )
+
+    def _build_runtimes(self) -> None:
+        cfg = self.config
+        self.runtimes: Dict[int, ClientRuntime] = {}
+        for client in self.clients:
+            group = self.group_of[client.user_id]
+            self.runtimes[client.user_id] = ClientRuntime(
+                data=client,
+                embedding_dim=cfg.dims[group],
+                num_items=self.num_items,
+                seed=cfg.seed,
+            )
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def trained_head_groups(self, group: str) -> List[str]:
+        """Which Θ heads a client of ``group`` downloads and trains.
+
+        Base protocol: only its own.  HeteFedRec overrides this to every
+        head of width ≤ its own (dual-task requirement).
+        """
+        return [group]
+
+    def client_loss(
+        self, runtime: ClientRuntime, user_param: Parameter, batch: TrainingBatch
+    ) -> Tensor:
+        """Local objective — base FedRec uses the plain BCE of Eq. 2."""
+        group = self.group_of[runtime.user_id]
+        model = self.models[group]
+        logits = model.logits(
+            user_param, batch.items, train_item_ids=runtime.data.train_items
+        )
+        return ops.bce_with_logits(logits, batch.labels)
+
+    def accept_update(self, update: ClientUpdate) -> bool:
+        """Server-side filter — All Large/Exclusive drops weak clients here."""
+        return update.user_id not in self.excluded_uploaders
+
+    def aggregate_embeddings(self, updates: Sequence[ClientUpdate]) -> Dict[str, np.ndarray]:
+        """Default: the paper's padding aggregation (Eq. 8)."""
+        dims = {g: self.config.dims[g] for g in self.groups}
+        return padded_embedding_aggregate(
+            updates, dims, mode=self.config.aggregation.embedding_mode
+        )
+
+    def post_aggregate(self, epoch: int) -> None:
+        """Server-side step after aggregation — HeteFedRec runs RESKD here."""
+
+    # ------------------------------------------------------------------
+    # Local training
+    # ------------------------------------------------------------------
+    def _session_parameters(self, group: str, user_param: Parameter) -> List[Parameter]:
+        params: List[Parameter] = [user_param, self.models[group].item_embedding.weight]
+        for head_group in self.trained_head_groups(group):
+            params.extend(self.models[head_group].head.parameters())
+        return params
+
+    def _snapshot(self, group: str) -> Dict[str, Dict[str, np.ndarray]]:
+        """Copy the public state a client of ``group`` is about to mutate."""
+        snap: Dict[str, Dict[str, np.ndarray]] = {
+            "embedding": {"V": self.models[group].item_embedding.weight.data.copy()}
+        }
+        for head_group in self.trained_head_groups(group):
+            snap[f"head:{head_group}"] = self.models[head_group].head.state_dict()
+        return snap
+
+    def _restore(self, group: str, snapshot: Dict[str, Dict[str, np.ndarray]]) -> None:
+        self.models[group].item_embedding.weight.data[...] = snapshot["embedding"]["V"]
+        for head_group in self.trained_head_groups(group):
+            self.models[head_group].head.load_state_dict(snapshot[f"head:{head_group}"])
+
+    def train_client(self, runtime: ClientRuntime) -> ClientUpdate:
+        """One client's local session: train on private data, emit deltas."""
+        cfg = self.config
+        group = self.group_of[runtime.user_id]
+        model = self.models[group]
+        snapshot = self._snapshot(group)
+
+        user_param = runtime.user_parameter()
+        optimizer = Adam(self._session_parameters(group, user_param), lr=cfg.lr)
+
+        last_loss = 0.0
+        num_examples = 0
+        for _ in range(cfg.local_epochs):
+            batch = runtime.sample_batch(cfg.negative_ratio)
+            num_examples = len(batch)
+            optimizer.zero_grad()
+            loss = self.client_loss(runtime, user_param, batch)
+            loss.backward()
+            optimizer.step()
+            last_loss = float(loss.data)
+
+        runtime.commit_user_embedding(user_param.data)
+
+        embedding_delta = (
+            model.item_embedding.weight.data - snapshot["embedding"]["V"]
+        )
+        head_deltas = {}
+        for head_group in self.trained_head_groups(group):
+            after = self.models[head_group].head.state_dict()
+            head_deltas[head_group] = state_delta(after, snapshot[f"head:{head_group}"])
+
+        self._restore(group, snapshot)
+        update = ClientUpdate(
+            user_id=runtime.user_id,
+            group=group,
+            embedding_delta=embedding_delta,
+            head_deltas=head_deltas,
+            num_examples=num_examples,
+            train_loss=last_loss,
+        )
+        if cfg.privacy is not None and cfg.privacy.enabled:
+            # Protection happens on the client, before anything leaves it.
+            update = protect_update(update, cfg.privacy, runtime.rng)
+        if self._compressor is not None:
+            # Compression is the last client-side transform; the server
+            # aggregates the lossy reconstruction it would decode.
+            update = self._compressor.apply(update)
+        self._record_communication(group, head_deltas, update)
+        return update
+
+    def _record_communication(
+        self,
+        group: str,
+        head_deltas: Mapping[str, Mapping[str, np.ndarray]],
+        update: ClientUpdate,
+    ) -> None:
+        embedding_size = self.num_items * self.config.dims[group]
+        heads_size = sum(state_size(delta) for delta in head_deltas.values())
+        # The download always ships the dense public parameters; the upload
+        # is whatever actually leaves the client (compressed if configured).
+        self.meter.record(
+            group, download=embedding_size + heads_size, upload=int(update.upload_size)
+        )
+
+    # ------------------------------------------------------------------
+    # Server-side aggregation
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates: Sequence[ClientUpdate]) -> None:
+        accepted = [u for u in updates if self.accept_update(u)]
+        if not accepted:
+            return
+        self._round_counter += 1
+
+        if self.config.secure_aggregation is not None:
+            embedding_deltas, head_deltas = self._secure_aggregate(accepted)
+        else:
+            embedding_deltas = self.aggregate_embeddings(accepted)
+            head_deltas = aggregate_head_updates(
+                accepted, mode=self.config.aggregation.theta_mode
+            )
+
+        for group, delta in embedding_deltas.items():
+            self.models[group].item_embedding.weight.data += self._server_step(
+                f"V:{group}", delta
+            )
+        for head_group, delta in head_deltas.items():
+            head = self.models[head_group].head
+            for name, param in head.named_parameters():
+                param.data += self._server_step(
+                    f"Theta:{head_group}:{name}", delta[name]
+                )
+
+    def _server_step(self, key: str, delta: np.ndarray) -> np.ndarray:
+        """Aggregated delta → parameter step, via the server optimiser if set.
+
+        Both paths are elementwise in the delta, so prefix-consistent
+        per-group deltas produce prefix-consistent steps and the Eq. 10
+        nesting invariant survives any server optimiser.
+        """
+        if self._server_opt is not None:
+            return self._server_opt.step(key, delta)
+        return self.config.aggregation.server_lr * delta
+
+    def _secure_aggregate(
+        self, accepted: Sequence[ClientUpdate]
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Dict[str, np.ndarray]]]:
+        """One secure-aggregation round (padded sums under pairwise masks).
+
+        Mean modes are reproduced from public metadata: the server knows
+        which group every uploader belongs to, hence the per-column and
+        per-head contributor counts, without seeing any plaintext values.
+        """
+        cfg = self.config
+        dims = {g: cfg.dims[g] for g in self.groups}
+
+        head_counts: Optional[Dict[str, int]] = None
+        if cfg.aggregation.theta_mode == "mean":
+            head_counts = {}
+            for update in accepted:
+                for head_group in update.head_deltas:
+                    head_counts[head_group] = head_counts.get(head_group, 0) + 1
+
+        embeddings, heads = secure_aggregate_updates(
+            accepted,
+            dims,
+            cfg.secure_aggregation,
+            round_id=self._round_counter,
+            head_counts=head_counts,
+        )
+        if cfg.aggregation.embedding_mode == "mean":
+            widest = max(dims.values())
+            contributors = np.zeros(widest)
+            for update in accepted:
+                contributors[: cfg.dims[update.group]] += 1.0
+            safe = np.maximum(contributors, 1.0)
+            embeddings = {
+                group: emb / safe[: emb.shape[1]][np.newaxis, :]
+                for group, emb in embeddings.items()
+            }
+        return embeddings, heads
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def run_epoch(self, epoch: int) -> float:
+        """One traversal of the shuffled client queue; returns mean loss.
+
+        With availability simulation enabled, offline clients never train
+        this round and stragglers' updates land (down-weighted) in the
+        *next* round's aggregation — see :mod:`repro.federated.availability`.
+        """
+        queue = self._rng.permutation([c.user_id for c in self.clients])
+        losses: List[float] = []
+        step = self.config.clients_per_round
+        for round_index, start in enumerate(range(0, len(queue), step)):
+            round_users = [int(u) for u in queue[start : start + step]]
+
+            if self._straggler_buffer is not None:
+                on_time, stragglers, _offline = split_round(
+                    self.config.availability, epoch, round_index, round_users
+                )
+            else:
+                on_time, stragglers = round_users, []
+
+            updates = [self.train_client(self.runtimes[u]) for u in on_time]
+            late = [self.train_client(self.runtimes[u]) for u in stragglers]
+            losses.extend(u.train_loss for u in updates)
+
+            if self._straggler_buffer is not None:
+                updates = merge_duplicate_users(
+                    self._straggler_buffer.drain() + updates
+                )
+                self._straggler_buffer.add(late)
+            self.apply_updates(updates)
+        self.post_aggregate(epoch)
+        return float(np.mean(losses)) if losses else 0.0
+
+    def fit(self, evaluator: Optional[Evaluator] = None) -> TrainingHistory:
+        """Run the full federated schedule, logging history per epoch."""
+        cfg = self.config
+        for epoch in range(1, cfg.epochs + 1):
+            mean_loss = self.run_epoch(epoch)
+            recall = ndcg = None
+            if evaluator is not None and (
+                epoch % cfg.eval_every == 0 or epoch == cfg.epochs
+            ):
+                result = evaluator.evaluate(self.score_all_items)
+                recall, ndcg = result.recall, result.ndcg
+            self.history.log(epoch, mean_loss, recall=recall, ndcg=ndcg)
+        return self.history
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def score_all_items(self, client: ClientData) -> np.ndarray:
+        """Scores of every catalogue item for one user (evaluation hook)."""
+        runtime = self.runtimes[client.user_id]
+        group = self.group_of[client.user_id]
+        model = self.models[group]
+        with no_grad():
+            user_vec = Tensor(runtime.user_embedding)
+            logits = model.logits(
+                user_vec,
+                np.arange(self.num_items, dtype=np.int64),
+                train_item_ids=client.train_items,
+            )
+        return logits.data.copy()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def group_sizes(self) -> Dict[str, int]:
+        sizes: Dict[str, int] = {}
+        for user, group in self.group_of.items():
+            sizes[group] = sizes.get(group, 0) + 1
+        return sizes
+
+    def public_parameter_counts(self) -> Dict[str, int]:
+        """Per-group public parameter totals (Table III context)."""
+        return {
+            group: self.num_items * self.config.dims[group]
+            + head_parameter_count(self.config.dims[group], self.config.hidden)
+            for group in self.groups
+        }

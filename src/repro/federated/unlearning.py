@@ -1,0 +1,185 @@
+"""Federated unlearning: letting a quitting client take its influence along.
+
+The paper's related work ([50], "Federated unlearning for on-device
+recommendation") observes that FedRecs cannot forget clients who leave.
+This module implements the contribution-subtraction family of federated
+unlearning for HeteFedRec:
+
+* during training, a :class:`ContributionLedger` records exactly what
+  each client's uploads did to every public parameter (its padded
+  prefix per item table, its share of every head update);
+* :meth:`UnlearningHeteFedRec.unlearn` subtracts the quitter's ledger
+  entry from the current global parameters, removes the client from the
+  population, and optionally runs *recovery epochs* so the remaining
+  clients smooth over the removal.
+
+Exactness: with plain delta application the subtraction inverts the
+aggregation exactly — `test_unlearning.py` asserts it to machine
+precision when RESKD is off.  RESKD entangles tables after each round,
+so with it enabled the subtraction is the standard first-order
+approximation and recovery epochs do the rest.  Server optimisers and
+secure aggregation are rejected: the former make contributions
+non-linear, the latter hides them by design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import HeteFedRecConfig
+from repro.core.hetefedrec import HeteFedRec
+from repro.data.dataset import ClientData
+from repro.federated.aggregation import pad_columns
+from repro.federated.payload import ClientUpdate
+
+
+class ContributionLedger:
+    """Per-client record of applied public-parameter movements."""
+
+    def __init__(self) -> None:
+        #: user_id → group → accumulated applied embedding delta (group width).
+        self._embeddings: Dict[int, Dict[str, np.ndarray]] = {}
+        #: user_id → head_group → name → accumulated applied head delta.
+        self._heads: Dict[int, Dict[str, Dict[str, np.ndarray]]] = {}
+
+    def record_embedding(self, user_id: int, group: str, applied: np.ndarray) -> None:
+        per_group = self._embeddings.setdefault(user_id, {})
+        if group in per_group:
+            per_group[group] += applied
+        else:
+            per_group[group] = applied.copy()
+
+    def record_head(
+        self, user_id: int, head_group: str, name: str, applied: np.ndarray
+    ) -> None:
+        per_head = self._heads.setdefault(user_id, {}).setdefault(head_group, {})
+        if name in per_head:
+            per_head[name] += applied
+        else:
+            per_head[name] = applied.copy()
+
+    def embedding_contribution(self, user_id: int) -> Dict[str, np.ndarray]:
+        return {g: v.copy() for g, v in self._embeddings.get(user_id, {}).items()}
+
+    def head_contribution(self, user_id: int) -> Dict[str, Dict[str, np.ndarray]]:
+        return {
+            hg: {n: v.copy() for n, v in state.items()}
+            for hg, state in self._heads.get(user_id, {}).items()
+        }
+
+    def known_users(self) -> List[int]:
+        return sorted(set(self._embeddings) | set(self._heads))
+
+    def forget(self, user_id: int) -> None:
+        self._embeddings.pop(user_id, None)
+        self._heads.pop(user_id, None)
+
+
+class UnlearningHeteFedRec(HeteFedRec):
+    """HeteFedRec with a contribution ledger and client removal."""
+
+    method_name = "hetefedrec_unlearning"
+
+    def __init__(
+        self,
+        num_items: int,
+        clients: Sequence[ClientData],
+        config: HeteFedRecConfig,
+        group_of: Optional[Mapping[int, str]] = None,
+    ) -> None:
+        if config.secure_aggregation is not None:
+            raise ValueError(
+                "unlearning needs per-client contributions; secure "
+                "aggregation hides them by design"
+            )
+        if config.server_optimizer is not None:
+            raise ValueError(
+                "unlearning's subtraction is exact only under direct delta "
+                "application; server optimisers make contributions non-linear"
+            )
+        super().__init__(num_items, clients, config, group_of=group_of)
+        self.ledger = ContributionLedger()
+
+    # ------------------------------------------------------------------
+    # Recording: mirror apply_updates' arithmetic per contributing client
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates: Sequence[ClientUpdate]) -> None:
+        accepted = [u for u in updates if self.accept_update(u)]
+        if accepted:
+            self._record_contributions(accepted)
+        super().apply_updates(updates)
+
+    def _record_contributions(self, accepted: Sequence[ClientUpdate]) -> None:
+        cfg = self.config
+        server_lr = cfg.aggregation.server_lr
+        dims = {g: cfg.dims[g] for g in self.groups}
+        widest = max(dims.values())
+
+        embedding_mode = cfg.aggregation.embedding_mode
+        contributors = np.zeros(widest, dtype=np.float64)
+        for update in accepted:
+            contributors[: update.embedding_delta.shape[1]] += 1.0
+        column_scale = (
+            1.0 / np.maximum(contributors, 1.0)
+            if embedding_mode == "mean"
+            else np.ones(widest)
+        )
+
+        head_counts: Dict[str, int] = {}
+        for update in accepted:
+            for head_group in update.head_deltas:
+                head_counts[head_group] = head_counts.get(head_group, 0) + 1
+
+        for update in accepted:
+            padded = pad_columns(update.embedding_delta, widest)
+            scaled = padded * column_scale[np.newaxis, :] * server_lr
+            for group, width in dims.items():
+                self.ledger.record_embedding(
+                    update.user_id, group, scaled[:, :width]
+                )
+            for head_group, state in update.head_deltas.items():
+                divisor = (
+                    float(head_counts[head_group])
+                    if cfg.aggregation.theta_mode == "mean"
+                    else 1.0
+                )
+                for name, values in state.items():
+                    self.ledger.record_head(
+                        update.user_id, head_group, name,
+                        values * (server_lr / divisor),
+                    )
+
+    # ------------------------------------------------------------------
+    # Unlearning
+    # ------------------------------------------------------------------
+    def unlearn(self, user_id: int, recovery_epochs: int = 0) -> None:
+        """Remove ``user_id``'s recorded influence and retire the client.
+
+        Subtracts the client's accumulated contributions from every item
+        table and head, drops it from the training population, forgets
+        its ledger entry, and optionally runs ``recovery_epochs`` of
+        normal training over the survivors.
+        """
+        if user_id not in self.runtimes:
+            raise KeyError(f"user {user_id} is not an active client")
+
+        for group, contribution in self.ledger.embedding_contribution(user_id).items():
+            self.models[group].item_embedding.weight.data -= contribution
+        for head_group, state in self.ledger.head_contribution(user_id).items():
+            head = self.models[head_group].head
+            for name, param in head.named_parameters():
+                if name in state:
+                    param.data -= state[name]
+
+        self.clients = [c for c in self.clients if c.user_id != user_id]
+        self.runtimes.pop(user_id, None)
+        self.group_of.pop(user_id, None)
+        self.excluded_uploaders.discard(user_id)
+        if self._straggler_buffer is not None:
+            self._straggler_buffer.discard_user(user_id)
+        self.ledger.forget(user_id)
+
+        for epoch in range(1, recovery_epochs + 1):
+            self.run_epoch(epoch)

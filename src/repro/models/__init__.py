@@ -1,0 +1,24 @@
+"""Base recommendation models (paper Section III-B).
+
+Two architectures, as in the paper: NCF (He et al., 2017) and a privacy-
+preserving LightGCN variant whose graph propagation runs only on each
+client's *local* interaction graph.  Both expose the same scoring API so
+the federated layer and HeteFedRec's dual-task loss are architecture-
+agnostic.
+"""
+
+from repro.models.base import BaseRecommender, ScoringHead
+from repro.models.ncf import NCF
+from repro.models.lightgcn import LightGCN
+from repro.models.mf import GMF
+from repro.models.factory import MODEL_REGISTRY, build_model
+
+__all__ = [
+    "BaseRecommender",
+    "ScoringHead",
+    "NCF",
+    "LightGCN",
+    "GMF",
+    "MODEL_REGISTRY",
+    "build_model",
+]

@@ -1,0 +1,178 @@
+"""Shared recommender structure: item embedding + scoring head.
+
+A recommendation model in this codebase is split exactly as the paper
+splits parameters:
+
+* ``item_embedding`` — the public matrix ``V`` (|V| × N), dominating the
+  parameter count;
+* ``head`` — the predictor Θ (feed-forward layers over the concatenated
+  user/item vectors, Eq. 5);
+* the user embedding ``u_i`` is *not* part of the model: it is each
+  client's private parameter and is passed into :meth:`logits` by the
+  federated layer.
+
+Prefix scoring (``width`` < N) is first-class because HeteFedRec's unified
+dual-task learning (Eq. 11) scores items with column-prefixes of a larger
+table through a smaller head; gradients then flow into exactly those
+prefix columns, which is what makes the padded aggregation sound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Embedding, Linear, ReLU, Sequential
+from repro.nn.module import Module
+
+
+class ScoringHead(Module):
+    """The predictor Θ: FFN over ``[u, v]`` plus a GMF path (Eq. 5).
+
+    The MLP follows the paper's architecture — "three feedforward layers
+    with [2×N, 8, 8] dimensions" (input width 2N, two hidden layers of 8
+    units, scalar output).  In addition, the elementwise-product (GMF)
+    path of the cited NCF paper (He et al., 2017, NeuMF fusion) feeds
+    ``u ⊙ v`` through a linear term added to the logit.  The GMF path is
+    what lets the embedding *width* carry model capacity: with a pure
+    8-unit-bottleneck MLP, small and large embeddings score identically
+    well, and the paper's size-heterogeneity premise cannot manifest.
+    The sigmoid of Eq. 5 is folded into the loss (``bce_with_logits``).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        hidden: Sequence[int] = (8, 8),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.hidden = tuple(hidden)
+        widths = [2 * dim, *hidden, 1]
+        layers = []
+        for i, (w_in, w_out) in enumerate(zip(widths[:-1], widths[1:])):
+            layers.append(Linear(w_in, w_out, rng=rng))
+            if i < len(widths) - 2:
+                layers.append(ReLU())
+        self.ffn = Sequential(*layers)
+        self.gmf = Linear(dim, 1, bias=False, rng=rng)
+        # Start the GMF path at the plain inner product: it gives the
+        # model a useful collaborative-filtering prior from step one.
+        self.gmf.weight.data[...] = 1.0
+
+    def forward(self, user_vecs: Tensor, item_vecs: Tensor) -> Tensor:
+        """Logits for aligned batches of user and item vectors (B × d each)."""
+        x = ops.concat([user_vecs, item_vecs], axis=1)
+        mlp_logit = self.ffn(x).reshape(-1)
+        gmf_logit = self.gmf(user_vecs * item_vecs).reshape(-1)
+        return mlp_logit + gmf_logit
+
+
+def tile_user(user_vec: Tensor, batch: int) -> Tensor:
+    """Broadcast a (d,) user vector into a (batch, d) matrix, differentiably.
+
+    Implemented as ``ones(batch, 1) @ u.reshape(1, d)`` so the gradient of
+    every row accumulates back into the single private user embedding.
+    """
+    ones = Tensor(np.ones((batch, 1)))
+    return ones.matmul(user_vec.reshape(1, -1))
+
+
+class BaseRecommender(Module):
+    """Item table + scoring head with prefix-sliced scoring.
+
+    Parameters
+    ----------
+    num_items:
+        Catalogue size |V|.
+    dim:
+        Item-embedding width N for this model instance.
+    hidden:
+        Hidden widths of the scoring head.
+    item_weight:
+        Optional explicit initial value for ``V`` — HeteFedRec passes
+        prefix-shared initialisations here (see
+        :func:`repro.nn.init.nested_embedding_tables`).
+    """
+
+    arch: str = "base"
+
+    def __init__(
+        self,
+        num_items: int,
+        dim: int,
+        hidden: Sequence[int] = (8, 8),
+        rng: Optional[np.random.Generator] = None,
+        item_weight: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.num_items = num_items
+        self.dim = dim
+        self.item_embedding = Embedding(num_items, dim, rng=rng, weight=item_weight)
+        self.head = ScoringHead(dim, hidden=hidden, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Scoring API
+    # ------------------------------------------------------------------
+    def item_vectors(self, item_ids: np.ndarray, width: Optional[int] = None) -> Tensor:
+        """Gather item rows, optionally truncated to a column prefix."""
+        vecs = self.item_embedding(item_ids)
+        if width is not None and width < self.dim:
+            vecs = vecs[:, :width]
+        return vecs
+
+    def logits(
+        self,
+        user_vec: Tensor,
+        item_ids: np.ndarray,
+        train_item_ids: Optional[np.ndarray] = None,
+        width: Optional[int] = None,
+        head: Optional[ScoringHead] = None,
+    ) -> Tensor:
+        """Preference logits of one user for ``item_ids``.
+
+        ``width``/``head`` select a prefix sub-model: item vectors are the
+        first ``width`` columns of this model's table, the user vector is
+        truncated to match, and ``head`` (a smaller Θ) scores them.  With
+        the defaults this is ordinary full-width scoring.
+
+        ``train_item_ids`` carries the client's local graph for models
+        whose scoring uses it (LightGCN); NCF ignores it.
+        """
+        head = head if head is not None else self.head
+        effective = width if width is not None else self.dim
+        if effective > self.dim:
+            raise ValueError(f"width {effective} exceeds table dim {self.dim}")
+        if head.dim != effective:
+            raise ValueError(f"head dim {head.dim} does not match width {effective}")
+        item_vecs = self.item_vectors(np.asarray(item_ids, dtype=np.int64), width=effective)
+        if effective < user_vec.shape[-1]:
+            user_vec = user_vec[:effective]
+        return self._score(user_vec, item_vecs, np.asarray(item_ids), train_item_ids, head, effective)
+
+    def _score(
+        self,
+        user_vec: Tensor,
+        item_vecs: Tensor,
+        item_ids: np.ndarray,
+        train_item_ids: Optional[np.ndarray],
+        head: ScoringHead,
+        width: int,
+    ) -> Tensor:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Parameter partition (public V vs public Θ)
+    # ------------------------------------------------------------------
+    def embedding_key(self) -> str:
+        return "item_embedding.weight"
+
+    def head_state(self) -> dict:
+        return {k: v for k, v in self.state_dict().items() if k.startswith("head.")}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(items={self.num_items}, dim={self.dim})"

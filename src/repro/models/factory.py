@@ -1,0 +1,39 @@
+"""Model factory: build a recommender by architecture name.
+
+The experiment harness sweeps over architectures by string name ("ncf",
+"lightgcn"), mirroring the paper's Fed-NCF / Fed-LightGCN rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.models.base import BaseRecommender
+from repro.models.lightgcn import LightGCN
+from repro.models.mf import GMF
+from repro.models.ncf import NCF
+
+MODEL_REGISTRY: Dict[str, Type[BaseRecommender]] = {
+    "ncf": NCF,
+    "lightgcn": LightGCN,
+    "mf": GMF,
+}
+
+
+def build_model(
+    arch: str,
+    num_items: int,
+    dim: int,
+    hidden: Sequence[int] = (8, 8),
+    rng: Optional[np.random.Generator] = None,
+    item_weight: Optional[np.ndarray] = None,
+) -> BaseRecommender:
+    """Instantiate a recommender by name; raises ``KeyError`` for unknown archs."""
+    key = arch.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown architecture {arch!r}; choose from {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key](
+        num_items=num_items, dim=dim, hidden=hidden, rng=rng, item_weight=item_weight
+    )

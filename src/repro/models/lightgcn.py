@@ -1,0 +1,62 @@
+"""Privacy-preserving LightGCN (He et al., 2020) on the client-local graph.
+
+The paper (Section III-B) applies one layer of LightGCN propagation, and
+"to ensure privacy, the propagation is only used in user's local graph" —
+i.e. the only edges visible to a client are its own user→item edges.  On
+that star-shaped local graph a single propagation step gives:
+
+* user:   ``e_u' = (e_u + mean_{j ∈ N(u)} e_j) / 2`` — the user node
+  absorbs the average of its interacted items (its entire neighbourhood);
+* item:   ``e_j' = (e_j + e_u) / 2`` for items the user interacted with
+  (their only local neighbour is the user), ``e_j' = e_j`` otherwise.
+
+The propagated embeddings are then scored with the same FFN head as NCF
+(Eq. 5).  Propagation happens inside the autodiff graph, so gradients flow
+back through the neighbourhood average into the item table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.models.base import BaseRecommender, ScoringHead, tile_user
+
+
+class LightGCN(BaseRecommender):
+    """One-layer local-graph LightGCN propagation + FFN scoring head."""
+
+    arch = "lightgcn"
+
+    def _score(
+        self,
+        user_vec: Tensor,
+        item_vecs: Tensor,
+        item_ids: np.ndarray,
+        train_item_ids: Optional[np.ndarray],
+        head: ScoringHead,
+        width: int,
+    ) -> Tensor:
+        batch = item_vecs.shape[0]
+
+        if train_item_ids is None or len(train_item_ids) == 0:
+            # No local graph available (e.g. cold evaluation): degenerate to
+            # the un-propagated embeddings, which is the correct limit of
+            # the propagation when the neighbourhood is empty.
+            user_prop = user_vec
+            item_prop = item_vecs
+        else:
+            train_item_ids = np.asarray(train_item_ids, dtype=np.int64)
+            neighbour_vecs = self.item_vectors(train_item_ids, width=width)
+            user_prop = (user_vec + neighbour_vecs.mean(axis=0)) * 0.5
+
+            interacted = np.isin(item_ids, train_item_ids).reshape(batch, 1)
+            user_row = user_vec.reshape(1, -1)
+            propagated = (item_vecs + user_row) * 0.5
+            item_prop = ops.where(interacted, propagated, item_vecs)
+
+        user_mat = tile_user(user_prop, batch)
+        return head(user_mat, item_prop)

@@ -1,0 +1,34 @@
+"""Neural collaborative filtering (He et al., 2017), Eq. 5 of the paper.
+
+``r̂_ij = σ(FFN([u_i, v_j]))`` — the user and item embeddings are
+concatenated and pushed through the feed-forward head.  The sigmoid lives
+in the loss (``bce_with_logits``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.models.base import BaseRecommender, ScoringHead, tile_user
+
+
+class NCF(BaseRecommender):
+    """NCF scoring: head over the plain embedding concatenation."""
+
+    arch = "ncf"
+
+    def _score(
+        self,
+        user_vec: Tensor,
+        item_vecs: Tensor,
+        item_ids: np.ndarray,
+        train_item_ids: Optional[np.ndarray],
+        head: ScoringHead,
+        width: int,
+    ) -> Tensor:
+        batch = item_vecs.shape[0]
+        user_mat = tile_user(user_vec, batch)
+        return head(user_mat, item_vecs)

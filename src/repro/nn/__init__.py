@@ -1,0 +1,27 @@
+"""Minimal neural-network library on top of :mod:`repro.autograd`.
+
+Provides the modules, initialisers and optimisers used by the base
+recommenders (NCF, LightGCN) and the HeteFedRec losses.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Embedding, Linear, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import init
+from repro.nn import functional
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Sequential",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "init",
+    "functional",
+]

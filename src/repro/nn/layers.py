@@ -1,0 +1,130 @@
+"""Layers: Linear, Embedding, Sequential and pointwise activations."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with Xavier-initialised weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng=rng), name="weight"
+        )
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(init.zeros((out_features,)), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.has_bias:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.has_bias})"
+
+
+class Embedding(Module):
+    """Lookup table with sparse-aware gradients.
+
+    ``forward`` takes integer indices and returns the selected rows; the
+    backward pass accumulates only into the touched rows (via
+    :func:`repro.autograd.ops.gather`).
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        std: float = 0.01,
+        rng: Optional[np.random.Generator] = None,
+        weight: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        if weight is not None:
+            if weight.shape != (num_embeddings, embedding_dim):
+                raise ValueError(
+                    f"explicit weight shape {weight.shape} does not match "
+                    f"({num_embeddings}, {embedding_dim})"
+                )
+            values = np.array(weight, dtype=np.float64)
+        else:
+            values = init.normal((num_embeddings, embedding_dim), std=std, rng=rng)
+        self.weight = Parameter(values, name="embedding")
+
+    def forward(self, indices: Union[np.ndarray, Sequence[int]]) -> Tensor:
+        return ops.gather(self.weight, indices)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for index, module in enumerate(modules):
+            name = f"layer{index}"
+            setattr(self, name, module)
+            self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = getattr(self, name)(x)
+        return x
+
+    def __iter__(self) -> Iterable[Module]:
+        return iter(getattr(self, name) for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(getattr(self, name)) for name in self._order)
+        return f"Sequential({inner})"

@@ -1,0 +1,46 @@
+"""Robustness: poisoning attacks and robust aggregation for FedRecs.
+
+The paper's related work (Section II-A) surveys how FedRecs "are
+susceptible to manipulation by malicious users who upload poisoned model
+updates" (PipAttack [44], FedRecAttack [45], [46]).  This subpackage
+reproduces that threat model against every trainer in the repo —
+including HeteFedRec, whose heterogeneous aggregation is a *new* attack
+surface (a poisoned narrow update contaminates the prefix of every wider
+table) — together with the standard server-side defences.
+
+* :mod:`repro.robustness.attacks` — malicious-client behaviours
+  (random-noise, sign-flip/model poisoning, target-item promotion);
+* :mod:`repro.robustness.defenses` — robust aggregators (server-side
+  norm clipping, per-row trimmed mean / median, multi-Krum selection);
+* :mod:`repro.robustness.harness` — :class:`AdversarialHeteFedRec`, a
+  HeteFedRec trainer with a malicious sub-population and an optional
+  defence;
+* :mod:`repro.robustness.metrics` — attack-success measures
+  (exposure-rate@K of a promoted item).
+
+This is defensive-security tooling: it exists to measure and harden the
+aggregation rules, mirroring the published attack evaluations.
+"""
+
+from repro.robustness.attacks import AttackConfig, choose_malicious, poison_update
+from repro.robustness.defenses import (
+    RobustAggregationConfig,
+    krum_select,
+    robust_embedding_aggregate,
+    server_clip_updates,
+)
+from repro.robustness.harness import AdversarialHeteFedRec
+from repro.robustness.metrics import exposure_at_k, prediction_shift
+
+__all__ = [
+    "AttackConfig",
+    "choose_malicious",
+    "poison_update",
+    "RobustAggregationConfig",
+    "krum_select",
+    "robust_embedding_aggregate",
+    "server_clip_updates",
+    "AdversarialHeteFedRec",
+    "exposure_at_k",
+    "prediction_shift",
+]

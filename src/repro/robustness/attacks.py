@@ -1,0 +1,134 @@
+"""Malicious-client update transformations (the FedRec threat model).
+
+Each attack is a pure function over a :class:`ClientUpdate` — exactly
+the capability the threat model grants: a malicious participant controls
+what it uploads, nothing else.  Three behaviours from the literature:
+
+* ``noise`` — untargeted availability attack: upload Gaussian garbage
+  scaled to drown honest updates;
+* ``signflip`` — model poisoning: upload the *negated*, amplified honest
+  update, steering the global model away from the optimum (the
+  strongest untargeted baseline in FedRecAttack [45]);
+* ``promote`` — targeted item promotion (PipAttack [44]): craft the
+  target item's embedding delta so the item scores highly for everyone.
+  The crafted row moves the target's embedding toward the centroid of
+  the items the attacker's own user actually liked — a popularity
+  mimicry that needs no extra knowledge beyond the attacker's device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Set
+
+import numpy as np
+
+from repro.data.dataset import ClientData
+from repro.federated.payload import ClientUpdate
+
+_KINDS = ("noise", "signflip", "promote")
+
+
+@dataclass
+class AttackConfig:
+    """Who attacks and how.
+
+    ``fraction`` of clients are malicious (chosen uniformly at random,
+    per PipAttack's setting of injected/compromised users).  ``scale``
+    amplifies the poisoned payload; ``target_item`` is only used by the
+    ``promote`` attack.
+    """
+
+    kind: str = "signflip"
+    fraction: float = 0.1
+    scale: float = 10.0
+    target_item: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.target_item < 0:
+            raise ValueError(f"target_item must be non-negative, got {self.target_item}")
+
+
+def choose_malicious(
+    clients: Sequence[ClientData], fraction: float, seed: int = 0
+) -> Set[int]:
+    """The malicious sub-population: a uniform ``fraction`` of all clients."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    count = int(round(len(clients) * fraction))
+    if count == 0:
+        return set()
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(clients), size=count, replace=False)
+    return {int(clients[i].user_id) for i in chosen}
+
+
+def _noise_like(update: ClientUpdate, scale: float, rng: np.random.Generator) -> ClientUpdate:
+    """Replace every uploaded block with scaled Gaussian noise."""
+    reference = float(np.std(update.embedding_delta)) or 1.0
+    sigma = scale * reference
+    return ClientUpdate(
+        user_id=update.user_id,
+        group=update.group,
+        embedding_delta=rng.normal(0.0, sigma, size=update.embedding_delta.shape),
+        head_deltas={
+            head_group: {
+                name: rng.normal(0.0, sigma, size=values.shape)
+                for name, values in state.items()
+            }
+            for head_group, state in update.head_deltas.items()
+        },
+        num_examples=update.num_examples,
+        train_loss=update.train_loss,
+    )
+
+
+def _promote_target(
+    update: ClientUpdate, target_item: int, scale: float
+) -> ClientUpdate:
+    """Craft the target item's row to mimic the client's liked items.
+
+    The attacker moves the target's embedding toward the centroid of the
+    rows its honest training actually strengthened, amplified by
+    ``scale`` — after aggregation the target looks like a universally
+    liked item.
+    """
+    delta = update.embedding_delta.copy()
+    support = np.flatnonzero(np.abs(delta).sum(axis=1) > 0)
+    support = support[support != target_item]
+    if support.size:
+        centroid = delta[support].mean(axis=0)
+        norm = float(np.linalg.norm(centroid))
+        direction = centroid / norm if norm > 0 else np.ones(delta.shape[1]) / np.sqrt(delta.shape[1])
+    else:
+        direction = np.ones(delta.shape[1]) / np.sqrt(delta.shape[1])
+    row_norms = np.linalg.norm(delta, axis=1)
+    typical = float(row_norms[row_norms > 0].mean()) if np.any(row_norms > 0) else 1.0
+    if target_item < delta.shape[0]:
+        delta[target_item] = scale * typical * direction
+    return ClientUpdate(
+        user_id=update.user_id,
+        group=update.group,
+        embedding_delta=delta,
+        head_deltas=update.head_deltas,
+        num_examples=update.num_examples,
+        train_loss=update.train_loss,
+    )
+
+
+def poison_update(
+    update: ClientUpdate, config: AttackConfig, rng: np.random.Generator
+) -> ClientUpdate:
+    """Apply the configured attack to one honest update."""
+    if config.kind == "noise":
+        return _noise_like(update, config.scale, rng)
+    if config.kind == "signflip":
+        return update.scaled(-config.scale)
+    return _promote_target(update, config.target_item, config.scale)

@@ -1,0 +1,55 @@
+"""Attack-success measures from the FedRec poisoning literature.
+
+* :func:`exposure_at_k` — PipAttack's ER@K: the fraction of users whose
+  top-K recommendation list contains the promoted item (users who
+  already interacted with it are skipped, as in the original protocol);
+* :func:`prediction_shift` — mean change of the target item's score
+  across users between a clean and an attacked model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ClientData
+from repro.eval.metrics import rank_items
+
+ScoreFn = Callable[[ClientData], np.ndarray]
+
+
+def exposure_at_k(
+    score_fn: ScoreFn,
+    clients: Sequence[ClientData],
+    target_item: int,
+    k: int = 20,
+) -> float:
+    """Fraction of eligible users with ``target_item`` in their top-K."""
+    exposed = 0
+    eligible = 0
+    for client in clients:
+        known = client.known_items()
+        if target_item in known or target_item in client.test_items:
+            continue
+        eligible += 1
+        top = rank_items(score_fn(client), exclude=known, k=k)
+        if target_item in top:
+            exposed += 1
+    return exposed / eligible if eligible else 0.0
+
+
+def prediction_shift(
+    clean_fn: ScoreFn,
+    attacked_fn: ScoreFn,
+    clients: Sequence[ClientData],
+    target_item: int,
+) -> float:
+    """Mean per-user increase of the target item's score under attack."""
+    if not clients:
+        return 0.0
+    shifts = [
+        float(attacked_fn(client)[target_item] - clean_fn(client)[target_item])
+        for client in clients
+    ]
+    return float(np.mean(shifts))

@@ -1,0 +1,42 @@
+"""Shared fixtures: small deterministic datasets and client splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.data.splitting import train_test_split_per_user
+from repro.data.synthetic import SyntheticConfig, load_benchmark_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> InteractionDataset:
+    """A fixed 60-user dataset small enough for per-test training."""
+    return load_benchmark_dataset(
+        "ml", SyntheticConfig(scale=0.01, item_scale=0.03, seed=7)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_clients(tiny_dataset):
+    return train_test_split_per_user(tiny_dataset, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def handmade_dataset() -> InteractionDataset:
+    """A hand-written dataset with known structure for exact assertions."""
+    user_items = [
+        np.array([0, 1, 2, 3, 4, 5, 6, 7]),   # heavy user
+        np.array([0, 1, 2, 3, 4, 5]),
+        np.array([0, 1, 2, 3]),
+        np.array([4, 5, 6]),
+        np.array([7, 8]),
+        np.array([9]),                        # light user
+    ]
+    return InteractionDataset(6, 10, user_items, name="handmade")

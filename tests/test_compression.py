@@ -1,0 +1,204 @@
+"""Tests for the compression codecs and per-client error feedback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    ClientCompressor,
+    CompressionConfig,
+    Compressor,
+    build_compressor,
+    quantize_uniform,
+    randomk_sparsify,
+    topk_sparsify,
+)
+from repro.federated.payload import ClientUpdate
+
+
+class TestTopK:
+    def test_keeps_largest_magnitudes(self):
+        values = np.array([[0.1, -5.0, 0.2], [3.0, -0.05, 0.0]])
+        out = topk_sparsify(values, ratio=2 / 6).dense()
+        expected = np.array([[0.0, -5.0, 0.0], [3.0, 0.0, 0.0]])
+        assert np.array_equal(out, expected)
+
+    def test_payload_two_scalars_per_entry(self):
+        compressed = topk_sparsify(np.arange(100, dtype=float), ratio=0.1)
+        assert compressed.payload_scalars == 2.0 * 10
+
+    def test_at_least_one_entry_survives(self):
+        compressed = topk_sparsify(np.array([1e-9, 2e-9]), ratio=0.01)
+        assert np.count_nonzero(compressed.dense()) == 1
+
+    def test_full_ratio_is_lossless(self):
+        values = np.random.default_rng(0).normal(size=(4, 5))
+        assert np.allclose(topk_sparsify(values, 1.0).dense(), values)
+
+    def test_empty_input(self):
+        compressed = topk_sparsify(np.empty((0, 3)), 0.5)
+        assert compressed.dense().size == 0
+        assert compressed.payload_scalars == 0.0
+
+
+class TestRandomK:
+    def test_unbiased_in_expectation(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=200)
+        total = np.zeros_like(values)
+        repeats = 400
+        for _ in range(repeats):
+            total += randomk_sparsify(values, 0.25, rng).dense()
+        assert np.allclose(total / repeats, values, atol=0.5)
+
+    def test_kept_entries_rescaled(self):
+        rng = np.random.default_rng(2)
+        values = np.full(100, 2.0)
+        out = randomk_sparsify(values, 0.5, rng).dense()
+        kept = out[out != 0]
+        assert np.allclose(kept, 4.0)
+
+    def test_payload_matches_kept_count(self):
+        rng = np.random.default_rng(3)
+        compressed = randomk_sparsify(np.ones(60), 0.5, rng)
+        assert compressed.payload_scalars == 2.0 * 30
+
+
+class TestQuantize:
+    def test_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(-3, 3, size=1000)
+        bits = 8
+        out = quantize_uniform(values, bits).dense()
+        step = (values.max() - values.min()) / (2**bits - 1)
+        assert np.max(np.abs(out - values)) <= step / 2 + 1e-12
+
+    def test_constant_tensor_exact(self):
+        values = np.full((3, 3), 7.5)
+        compressed = quantize_uniform(values, 8)
+        assert np.array_equal(compressed.dense(), values)
+
+    def test_payload_scales_with_bits(self):
+        values = np.ones(64)
+        assert quantize_uniform(values, 8).payload_scalars == 64 * 8 / 32 + 2
+        assert quantize_uniform(values, 4).payload_scalars == 64 * 4 / 32 + 2
+
+    def test_extremes_are_representable(self):
+        values = np.array([-1.0, 0.3, 1.0])
+        out = quantize_uniform(values, 8).dense()
+        assert out[0] == -1.0 and out[-1] == 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        ),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantisation_error_property(self, floats, bits):
+        values = np.array(floats)
+        out = quantize_uniform(values, bits).dense()
+        span = values.max() - values.min()
+        if span == 0:
+            assert np.array_equal(out, values)
+        else:
+            assert np.max(np.abs(out - values)) <= span / (2**bits - 1) / 2 + 1e-9
+
+
+class TestCompressorDispatch:
+    def test_none_kind_is_identity_with_dense_cost(self):
+        codec = Compressor(CompressionConfig(kind="none"))
+        values = np.random.default_rng(5).normal(size=(3, 4))
+        compressed = codec.compress(values)
+        assert np.array_equal(compressed.dense(), values)
+        assert compressed.payload_scalars == 12.0
+
+    def test_build_compressor_returns_none_for_none(self):
+        assert build_compressor(None) is None
+        assert build_compressor(CompressionConfig(kind="none")) is None
+        assert build_compressor(CompressionConfig(kind="topk")) is not None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(kind="zip")
+        with pytest.raises(ValueError):
+            CompressionConfig(ratio=0.0)
+        with pytest.raises(ValueError):
+            CompressionConfig(bits=0)
+
+    def test_compression_error_diagnostic(self):
+        codec = Compressor(CompressionConfig(kind="quantize", bits=2))
+        assert codec.compression_error(np.linspace(-1, 1, 100)) > 0
+        lossless = Compressor(CompressionConfig(kind="none"))
+        assert lossless.compression_error(np.ones(5)) == 0.0
+
+
+def make_update(user_id=0, group="s", rows=8, width=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return ClientUpdate(
+        user_id=user_id,
+        group=group,
+        embedding_delta=rng.normal(size=(rows, width)),
+        head_deltas={group: {"w": rng.normal(size=(4, 2)), "b": rng.normal(size=(2,))}},
+    )
+
+
+class TestClientCompressor:
+    def test_apply_sets_wire_cost(self):
+        compressor = ClientCompressor(CompressionConfig(kind="topk", ratio=0.25))
+        update = make_update()
+        out = compressor.apply(update)
+        assert out.upload_size_override is not None
+        assert out.upload_size < update.upload_size
+
+    def test_apply_preserves_metadata(self):
+        compressor = ClientCompressor(CompressionConfig(kind="quantize"))
+        update = make_update(user_id=7, group="m", width=3)
+        out = compressor.apply(update)
+        assert out.user_id == 7 and out.group == "m"
+        assert out.embedding_delta.shape == update.embedding_delta.shape
+        assert set(out.head_deltas["m"]) == {"w", "b"}
+
+    def test_error_feedback_residual_accumulates(self):
+        compressor = ClientCompressor(
+            CompressionConfig(kind="topk", ratio=0.1, error_feedback=True)
+        )
+        compressor.apply(make_update(seed=1))
+        assert compressor.residual_norm(0) > 0
+        compressor.reset()
+        assert compressor.residual_norm(0) == 0.0
+
+    def test_error_feedback_recovers_sum_over_rounds(self):
+        """With EF, the sum of transmitted reconstructions approaches the
+        sum of true deltas — the property that makes EF converge."""
+        config = CompressionConfig(kind="topk", ratio=0.2, error_feedback=True)
+        compressor = ClientCompressor(config)
+        rng = np.random.default_rng(6)
+        true_total = np.zeros((8, 2))
+        sent_total = np.zeros((8, 2))
+        last_residual = None
+        for round_id in range(30):
+            update = make_update(seed=round_id + 10)
+            true_total += update.embedding_delta
+            sent_total += compressor.apply(update).embedding_delta
+            last_residual = compressor._residuals[(0, "embedding")]
+        # sent = true - final residual, exactly.
+        assert np.allclose(sent_total + last_residual, true_total, atol=1e-9)
+
+    def test_without_error_feedback_no_state(self):
+        compressor = ClientCompressor(
+            CompressionConfig(kind="topk", ratio=0.5, error_feedback=False)
+        )
+        compressor.apply(make_update())
+        assert compressor.residual_norm(0) == 0.0
+
+    def test_residuals_are_per_client(self):
+        compressor = ClientCompressor(CompressionConfig(kind="topk", ratio=0.1))
+        compressor.apply(make_update(user_id=1, seed=1))
+        compressor.apply(make_update(user_id=2, seed=2))
+        assert compressor.residual_norm(1) > 0
+        assert compressor.residual_norm(2) > 0
+        assert compressor.residual_norm(3) == 0.0

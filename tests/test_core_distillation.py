@@ -1,0 +1,129 @@
+"""Tests for relation-based ensemble self-distillation (Eq. 16–17)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import ops, Tensor
+from repro.core.distillation import (
+    DistillationConfig,
+    ensemble_relation,
+    relation_distillation_loss,
+    relation_distillation_step,
+)
+from repro.nn.module import Parameter
+
+
+def tables(seed=0, items=20):
+    rng = np.random.default_rng(seed)
+    return {
+        "s": Parameter(rng.normal(0, 0.1, (items, 4))),
+        "m": Parameter(rng.normal(0, 0.1, (items, 6))),
+        "l": Parameter(rng.normal(0, 0.1, (items, 8))),
+    }
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistillationConfig(num_items=1)
+        with pytest.raises(ValueError):
+            DistillationConfig(steps=-1)
+
+    def test_defaults(self):
+        config = DistillationConfig()
+        assert config.num_items >= 2
+        assert config.lr > 0
+
+
+class TestEnsembleRelation:
+    def test_is_mean_of_cosine_matrices(self):
+        ts = tables()
+        subset = np.array([0, 3, 7])
+        target = ensemble_relation({k: p.data for k, p in ts.items()}, subset)
+        manual = np.mean(
+            [
+                ops.cosine_similarity_matrix(Tensor(p.data[subset])).data
+                for p in ts.values()
+            ],
+            axis=0,
+        )
+        assert np.allclose(target, manual)
+
+    def test_symmetric_unit_diagonal(self):
+        ts = tables()
+        subset = np.arange(5)
+        target = ensemble_relation({k: p.data for k, p in ts.items()}, subset)
+        assert np.allclose(target, target.T)
+        assert np.allclose(np.diag(target), 1.0)
+
+
+class TestDistillationLoss:
+    def test_zero_when_already_aligned(self):
+        ts = tables()
+        subset = np.arange(6)
+        own = ops.cosine_similarity_matrix(Tensor(ts["s"].data[subset])).data
+        loss = relation_distillation_loss(ts["s"], subset, own)
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_when_misaligned(self):
+        ts = tables()
+        subset = np.arange(6)
+        target = np.eye(6)
+        loss = relation_distillation_loss(ts["s"], subset, target)
+        assert float(loss.data) > 0
+
+
+class TestDistillationStep:
+    def test_reduces_relation_distance(self):
+        """Repeated steps shrink every table's distance to the ensemble."""
+        ts = tables(seed=1)
+        config = DistillationConfig(num_items=10, steps=1, lr=0.05)
+        rng = np.random.default_rng(0)
+
+        # Fixed subset probe: measure alignment before and after.
+        probe = np.arange(10)
+        before_target = ensemble_relation({k: p.data for k, p in ts.items()}, probe)
+        before = {
+            k: float(relation_distillation_loss(p, probe, before_target).data)
+            for k, p in ts.items()
+        }
+        for _ in range(30):
+            relation_distillation_step(ts, config, rng)
+        after_target = ensemble_relation({k: p.data for k, p in ts.items()}, probe)
+        after = {
+            k: float(relation_distillation_loss(p, probe, after_target).data)
+            for k, p in ts.items()
+        }
+        assert sum(after.values()) < sum(before.values())
+
+    def test_returns_losses_per_table(self):
+        ts = tables()
+        losses = relation_distillation_step(
+            ts, DistillationConfig(num_items=8, steps=1, lr=0.01), np.random.default_rng(0)
+        )
+        assert set(losses) == {"s", "m", "l"}
+        assert all(v >= 0 for v in losses.values())
+
+    def test_zero_steps_leaves_tables_unchanged(self):
+        ts = tables()
+        snapshot = {k: p.data.copy() for k, p in ts.items()}
+        relation_distillation_step(
+            ts, DistillationConfig(num_items=8, steps=0), np.random.default_rng(0)
+        )
+        for k, p in ts.items():
+            assert np.array_equal(p.data, snapshot[k])
+
+    def test_subset_capped_at_catalogue(self):
+        ts = tables(items=5)
+        relation_distillation_step(
+            ts, DistillationConfig(num_items=1000, steps=1, lr=0.01),
+            np.random.default_rng(0),
+        )  # must not raise
+
+    def test_only_subset_rows_move(self):
+        ts = tables(items=30)
+        snapshot = ts["l"].data.copy()
+        config = DistillationConfig(num_items=5, steps=1, lr=0.1)
+        relation_distillation_step(ts, config, np.random.default_rng(3))
+        moved = np.abs(ts["l"].data - snapshot).sum(axis=1) > 0
+        assert 0 < moved.sum() <= 5

@@ -1,0 +1,95 @@
+"""Tests for client division into U_s / U_m / U_l."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grouping import (
+    GROUP_ORDER,
+    divide_clients,
+    group_boundaries,
+    group_counts,
+    homogeneous_assignment,
+)
+from repro.data.dataset import ClientData
+
+
+def client(user_id, n_train):
+    return ClientData(
+        user_id=user_id,
+        train_items=np.arange(n_train),
+        valid_items=np.array([], dtype=np.int64),
+        test_items=np.array([], dtype=np.int64),
+    )
+
+
+class TestBoundaries:
+    def test_532(self):
+        assert group_boundaries(100, (5, 3, 2)) == [50, 80, 100]
+
+    def test_111(self):
+        assert group_boundaries(99, (1, 1, 1)) == [33, 66, 99]
+
+    def test_rounding_never_loses_clients(self):
+        for n in range(1, 30):
+            cuts = group_boundaries(n, (5, 3, 2))
+            assert cuts[-1] == n
+            assert all(b <= a for b, a in zip(cuts, cuts[1:]) or [(0, 0)])
+
+    def test_invalid_ratios(self):
+        with pytest.raises(ValueError):
+            group_boundaries(10, (1, 2))  # wrong arity
+        with pytest.raises(ValueError):
+            group_boundaries(10, (0, 0, 0))
+        with pytest.raises(ValueError):
+            group_boundaries(10, (-1, 1, 1))
+
+    @given(
+        st.integers(1, 500),
+        st.tuples(st.floats(0, 10), st.floats(0, 10), st.floats(0.1, 10)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_property(self, n, ratios):
+        cuts = group_boundaries(n, ratios)
+        assert cuts[-1] == n
+        assert all(0 <= c <= n for c in cuts)
+        assert cuts == sorted(cuts)
+
+
+class TestDivideClients:
+    def test_smallest_clients_get_smallest_models(self):
+        clients = [client(i, n) for i, n in enumerate([1, 5, 10, 20, 50])]
+        assignment = divide_clients(clients, ratios=(2, 2, 1))
+        assert assignment[0] == "s"
+        assert assignment[4] == "l"
+
+    def test_532_proportions(self):
+        clients = [client(i, i) for i in range(100)]
+        assignment = divide_clients(clients, ratios=(5, 3, 2))
+        counts = group_counts(assignment)
+        assert counts == {"s": 50, "m": 30, "l": 20}
+
+    def test_ties_broken_by_user_id(self):
+        clients = [client(i, 10) for i in range(4)]  # all identical sizes
+        a = divide_clients(clients, ratios=(2, 1, 1))
+        b = divide_clients(list(reversed(clients)), ratios=(2, 1, 1))
+        assert a == b
+
+    def test_monotone_in_data_size(self):
+        """More data never means a smaller model."""
+        rng = np.random.default_rng(0)
+        clients = [client(i, int(n)) for i, n in enumerate(rng.integers(1, 100, 60))]
+        assignment = divide_clients(clients)
+        rank = {g: i for i, g in enumerate(GROUP_ORDER)}
+        ordered = sorted(clients, key=lambda c: (c.num_train, c.user_id))
+        labels = [rank[assignment[c.user_id]] for c in ordered]
+        assert labels == sorted(labels)
+
+
+class TestHomogeneous:
+    def test_single_group(self):
+        clients = [client(i, i + 1) for i in range(5)]
+        assignment = homogeneous_assignment(clients, group="all")
+        assert set(assignment.values()) == {"all"}
+        assert len(assignment) == 5

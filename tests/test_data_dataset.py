@@ -1,0 +1,87 @@
+"""Tests for InteractionDataset and ClientData containers."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ClientData, InteractionDataset
+
+
+class TestConstruction:
+    def test_basic(self, handmade_dataset):
+        assert handmade_dataset.num_users == 6
+        assert handmade_dataset.num_items == 10
+        assert handmade_dataset.num_interactions == 8 + 6 + 4 + 3 + 2 + 1
+
+    def test_duplicates_removed(self):
+        ds = InteractionDataset(1, 5, [np.array([1, 1, 2])])
+        assert ds.user_items[0].tolist() == [1, 2]
+
+    def test_out_of_range_items_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(1, 3, [np.array([5])])
+        with pytest.raises(ValueError):
+            InteractionDataset(1, 3, [np.array([-1])])
+
+    def test_user_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(2, 3, [np.array([0])])
+
+    def test_repr(self, handmade_dataset):
+        text = repr(handmade_dataset)
+        assert "users=6" in text and "items=10" in text
+
+
+class TestStatistics:
+    def test_interaction_counts(self, handmade_dataset):
+        assert handmade_dataset.interaction_counts().tolist() == [8, 6, 4, 3, 2, 1]
+
+    def test_density(self, handmade_dataset):
+        assert handmade_dataset.density() == pytest.approx(24 / 60)
+
+
+class TestPairsRoundtrip:
+    def test_from_pairs(self):
+        ds = InteractionDataset.from_pairs([(0, 1), (0, 2), (1, 0)])
+        assert ds.num_users == 2
+        assert ds.num_items == 3
+        assert ds.user_items[0].tolist() == [1, 2]
+
+    def test_from_pairs_explicit_universe(self):
+        ds = InteractionDataset.from_pairs([(0, 0)], num_users=5, num_items=9)
+        assert ds.num_users == 5
+        assert ds.num_items == 9
+        assert ds.user_items[4].size == 0
+
+    def test_to_pairs_roundtrip(self, handmade_dataset):
+        pairs = handmade_dataset.to_pairs()
+        rebuilt = InteractionDataset.from_pairs(
+            [tuple(p) for p in pairs],
+            num_users=handmade_dataset.num_users,
+            num_items=handmade_dataset.num_items,
+        )
+        for a, b in zip(handmade_dataset.user_items, rebuilt.user_items):
+            assert np.array_equal(a, b)
+
+    def test_to_pairs_empty(self):
+        ds = InteractionDataset(1, 3, [np.array([], dtype=np.int64)])
+        assert ds.to_pairs().shape == (0, 2)
+
+
+class TestFiltering:
+    def test_filter_min_interactions(self, handmade_dataset):
+        filtered = handmade_dataset.filter_min_interactions(3)
+        assert filtered.num_users == 4  # users with ≥3 interactions
+        assert filtered.num_items == handmade_dataset.num_items
+
+
+class TestClientData:
+    def test_known_items_union(self):
+        client = ClientData(
+            user_id=0,
+            train_items=np.array([1, 2]),
+            valid_items=np.array([3]),
+            test_items=np.array([4]),
+        )
+        assert set(client.known_items()) == {1, 2, 3}
+        assert client.num_train == 2
+        assert client.num_interactions == 4

@@ -1,0 +1,208 @@
+"""Tests for the Anime/Douban/generic loaders and the new splits."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.data.loaders import (
+    load_anime,
+    load_delimited,
+    load_douban,
+    load_timestamped,
+)
+from repro.data.splitting import (
+    leave_one_out_split,
+    temporal_split_per_user,
+)
+
+
+@pytest.fixture()
+def anime_csv(tmp_path):
+    path = tmp_path / "rating.csv"
+    path.write_text(
+        "user_id,anime_id,rating\n"
+        "1,20,10\n"
+        "1,24,-1\n"      # watched, not rated — still an interaction
+        "3,20,8\n"
+        "3,79,6\n"
+        "3,226,-1\n"
+        "7,20,7\n"
+    )
+    return str(path)
+
+
+@pytest.fixture()
+def douban_tsv(tmp_path):
+    path = tmp_path / "douban.tsv"
+    path.write_text(
+        "100\t5\t4\t1111\n"
+        "100\t9\t2\t2222\n"
+        "200\t5\t5\t3333\n"
+        "300\t7\t3\t4444\n"
+    )
+    return str(path)
+
+
+class TestLoadAnime:
+    def test_counts(self, anime_csv):
+        dataset = load_anime(anime_csv)
+        assert dataset.num_users == 3
+        assert dataset.num_items == 4
+        assert dataset.num_interactions == 6
+
+    def test_unrated_rows_kept(self, anime_csv):
+        dataset = load_anime(anime_csv)
+        # user 1 (re-indexed 0) has both its rated and -1 rows.
+        assert dataset.user_items[0].size == 2
+
+    def test_dense_reindexing(self, anime_csv):
+        dataset = load_anime(anime_csv)
+        for items in dataset.user_items:
+            assert items.max() < dataset.num_items
+
+    def test_min_interactions_filter(self, anime_csv):
+        dataset = load_anime(anime_csv, min_interactions=2)
+        assert dataset.num_users == 2  # the single-interaction user drops
+
+
+class TestLoadDouban:
+    def test_counts(self, douban_tsv):
+        dataset = load_douban(douban_tsv)
+        assert dataset.num_users == 3
+        assert dataset.num_items == 3
+        assert dataset.num_interactions == 4
+
+    def test_name(self, douban_tsv):
+        assert load_douban(douban_tsv).name == "douban"
+
+
+class TestLoadDelimited:
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            load_delimited("/no/such/file.csv")
+
+    def test_malformed_rows_skipped(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text("u,i,r\n1,2,3\nnot,a,row\n4\n\n5,6,7\n")
+        dataset = load_delimited(str(path))
+        assert dataset.num_interactions == 2
+
+    def test_min_rating_threshold(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("u,i,r\n1,1,5\n1,2,1\n2,1,4\n")
+        dataset = load_delimited(str(path), min_rating=4.0)
+        assert dataset.num_interactions == 2
+
+    def test_duplicates_collapse(self, tmp_path):
+        path = tmp_path / "dups.csv"
+        path.write_text("u,i,r\n1,1,5\n1,1,3\n")
+        dataset = load_delimited(str(path))
+        assert dataset.num_interactions == 1
+
+    def test_no_header_mode(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1,1,5\n2,2,3\n")
+        dataset = load_delimited(str(path), skip_header=False)
+        assert dataset.num_interactions == 2
+
+    def test_no_rating_column(self, tmp_path):
+        path = tmp_path / "pairs.csv"
+        path.write_text("1,1\n2,2\n")
+        dataset = load_delimited(str(path), rating_col=None, skip_header=False)
+        assert dataset.num_interactions == 2
+
+
+class TestLoadTimestamped:
+    def test_triples(self, douban_tsv):
+        triples = load_timestamped(
+            str(douban_tsv), delimiter="\t", timestamp_col=3, skip_header=False
+        )
+        assert len(triples) == 4
+        users = {t[0] for t in triples}
+        assert users == {0, 1, 2}
+        assert all(isinstance(t[2], float) for t in triples)
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            load_timestamped("/no/such/file")
+
+
+class TestLeaveOneOut:
+    def test_one_test_item_per_user(self, handmade_dataset):
+        clients = leave_one_out_split(handmade_dataset, seed=0)
+        for client, items in zip(clients, handmade_dataset.user_items):
+            if items.size >= 2:
+                assert client.test_items.size == 1
+            else:
+                assert client.test_items.size == 0
+
+    def test_partition_is_exact(self, handmade_dataset):
+        clients = leave_one_out_split(handmade_dataset, seed=1)
+        for client, items in zip(clients, handmade_dataset.user_items):
+            combined = np.sort(
+                np.concatenate(
+                    [client.train_items, client.valid_items, client.test_items]
+                )
+            )
+            assert np.array_equal(combined, np.sort(items))
+
+    def test_validation_only_when_enough_data(self, handmade_dataset):
+        clients = leave_one_out_split(handmade_dataset, with_validation=True, seed=0)
+        for client, items in zip(clients, handmade_dataset.user_items):
+            if items.size >= 3:
+                assert client.valid_items.size == 1
+            else:
+                assert client.valid_items.size == 0
+
+    def test_without_validation(self, handmade_dataset):
+        clients = leave_one_out_split(handmade_dataset, with_validation=False)
+        assert all(client.valid_items.size == 0 for client in clients)
+
+    def test_train_never_empty(self, handmade_dataset):
+        clients = leave_one_out_split(handmade_dataset)
+        for client, items in zip(clients, handmade_dataset.user_items):
+            if items.size:
+                assert client.train_items.size >= 1
+
+
+class TestTemporalSplit:
+    def _triples(self):
+        # user 0: items 0..9 at increasing timestamps.
+        return [(0, item, float(100 + item)) for item in range(10)]
+
+    def test_latest_items_become_test(self):
+        clients = temporal_split_per_user(self._triples(), num_users=1)
+        client = clients[0]
+        # 80% train+valid (items 0–7), 20% test (items 8, 9).
+        assert set(client.test_items) == {8, 9}
+
+    def test_validation_takes_latest_training_slice(self):
+        clients = temporal_split_per_user(
+            self._triples(), num_users=1, valid_fraction=0.25
+        )
+        client = clients[0]
+        assert set(client.valid_items) == {6, 7}
+        assert set(client.train_items) == {0, 1, 2, 3, 4, 5}
+
+    def test_duplicates_keep_earliest(self):
+        triples = [(0, 5, 10.0), (0, 5, 99.0), (0, 6, 50.0)]
+        clients = temporal_split_per_user(triples, num_users=1)
+        combined = np.concatenate(
+            [clients[0].train_items, clients[0].valid_items, clients[0].test_items]
+        )
+        assert sorted(combined.tolist()) == [5, 6]
+
+    def test_unknown_user_rejected(self):
+        with pytest.raises(ValueError):
+            temporal_split_per_user([(5, 0, 0.0)], num_users=2)
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            temporal_split_per_user([], num_users=0, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            temporal_split_per_user([], num_users=0, valid_fraction=1.0)
+
+    def test_empty_users_allowed(self):
+        clients = temporal_split_per_user([], num_users=3)
+        assert len(clients) == 3
+        assert all(c.num_interactions == 0 for c in clients)

@@ -1,0 +1,106 @@
+"""Tests for negative sampling and local batch construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import ClientData
+from repro.data.sampling import NegativeSampler, TrainingBatch, build_training_batch
+
+
+class TestNegativeSampler:
+    def test_negatives_avoid_positives(self):
+        sampler = NegativeSampler(50, seed=0)
+        positives = np.array([1, 5, 9])
+        negatives = sampler.sample(positives, 100)
+        assert not set(negatives) & set(positives)
+        assert negatives.size == 100
+
+    def test_dense_fallback(self):
+        """User has interacted with >50% of a tiny catalogue."""
+        sampler = NegativeSampler(10, seed=0)
+        positives = np.arange(8)
+        negatives = sampler.sample(positives, 20)
+        assert set(negatives) <= {8, 9}
+        assert negatives.size == 20
+
+    def test_all_items_interacted_raises(self):
+        sampler = NegativeSampler(4, seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample(np.arange(4), 1)
+
+    def test_zero_count(self):
+        sampler = NegativeSampler(10, seed=0)
+        assert sampler.sample(np.array([0]), 0).size == 0
+
+    def test_invalid_catalogue(self):
+        with pytest.raises(ValueError):
+            NegativeSampler(0)
+
+    def test_deterministic_with_seed(self):
+        a = NegativeSampler(100, seed=9).sample(np.array([0]), 20)
+        b = NegativeSampler(100, seed=9).sample(np.array([0]), 20)
+        assert np.array_equal(a, b)
+
+    @given(
+        st.sets(st.integers(0, 29), min_size=0, max_size=15),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_avoidance_property(self, positives, count):
+        sampler = NegativeSampler(30, seed=1)
+        negatives = sampler.sample(np.array(sorted(positives), dtype=np.int64), count)
+        assert negatives.size == count
+        assert not set(int(n) for n in negatives) & positives
+        assert all(0 <= n < 30 for n in negatives)
+
+
+class TestTrainingBatch:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            TrainingBatch(items=np.arange(3), labels=np.zeros(2))
+
+    def test_len(self):
+        batch = TrainingBatch(items=np.arange(4), labels=np.zeros(4))
+        assert len(batch) == 4
+
+
+class TestBuildTrainingBatch:
+    @pytest.fixture()
+    def client(self):
+        return ClientData(
+            user_id=0,
+            train_items=np.array([1, 2, 3]),
+            valid_items=np.array([4]),
+            test_items=np.array([5]),
+        )
+
+    def test_ratio(self, client):
+        sampler = NegativeSampler(100, seed=0)
+        batch = build_training_batch(client, sampler, negative_ratio=4)
+        assert len(batch) == 3 * 5
+        assert batch.labels.sum() == 3
+
+    def test_negatives_avoid_train_and_valid_but_not_test(self, client):
+        """Negatives must avoid known (train+valid) items; test items are
+        legitimately unknown at training time and may be sampled."""
+        sampler = NegativeSampler(7, seed=0)  # items 0..6; known = 1,2,3,4
+        batch = build_training_batch(client, sampler, negative_ratio=4)
+        negatives = set(batch.items[batch.labels == 0].tolist())
+        assert not negatives & {1, 2, 3, 4}
+        assert negatives <= {0, 5, 6}
+
+    def test_shuffle_mixes_labels(self, client):
+        sampler = NegativeSampler(100, seed=0)
+        batch = build_training_batch(
+            client, sampler, negative_ratio=4, shuffle_rng=np.random.default_rng(0)
+        )
+        # After shuffling, positives are not all at the front.
+        assert batch.labels[: 3].sum() < 3 or batch.labels[3:].sum() > 0
+
+    def test_positive_items_preserved(self, client):
+        sampler = NegativeSampler(100, seed=0)
+        batch = build_training_batch(client, sampler)
+        positives = set(batch.items[batch.labels == 1].tolist())
+        assert positives == {1, 2, 3}

@@ -1,0 +1,57 @@
+"""Tests for dataset statistics (Table I / Fig. 1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.data.stats import (
+    dataset_statistics,
+    interaction_histogram,
+    tail_heaviness,
+)
+
+
+class TestDatasetStatistics:
+    def test_exact_values(self, handmade_dataset):
+        stats = dataset_statistics(handmade_dataset)
+        counts = np.array([8, 6, 4, 3, 2, 1], dtype=float)
+        assert stats.users == 6
+        assert stats.items == 10
+        assert stats.interactions == 24
+        assert stats.avg == pytest.approx(counts.mean())
+        assert stats.q50 == pytest.approx(np.percentile(counts, 50))
+        assert stats.q80 == pytest.approx(np.percentile(counts, 80))
+        assert stats.std == pytest.approx(counts.std())
+        assert stats.cv == pytest.approx(counts.std() / counts.mean())
+
+    def test_as_row(self, handmade_dataset):
+        row = dataset_statistics(handmade_dataset).as_row()
+        assert row[0] == "handmade"
+        assert row[1] == 6
+
+    def test_empty_dataset(self):
+        ds = InteractionDataset(0, 5, [])
+        stats = dataset_statistics(ds)
+        assert stats.avg == 0.0
+
+
+class TestHistogram:
+    def test_counts_sum_to_users(self, handmade_dataset):
+        _, hist = interaction_histogram(handmade_dataset, bins=4)
+        assert hist.sum() == handmade_dataset.num_users
+
+    def test_edges_monotonic(self, handmade_dataset):
+        edges, _ = interaction_histogram(handmade_dataset, bins=5)
+        assert np.all(np.diff(edges) > 0)
+
+
+class TestTailHeaviness:
+    def test_uniform_counts_near_half(self):
+        ds = InteractionDataset(4, 10, [np.arange(5)] * 4)
+        # All users identical → none strictly below the mean.
+        assert tail_heaviness(ds) == 0.0
+
+    def test_skewed_counts_above_half(self):
+        user_items = [np.arange(1)] * 9 + [np.arange(9)]
+        ds = InteractionDataset(10, 10, user_items)
+        assert tail_heaviness(ds) == 0.9

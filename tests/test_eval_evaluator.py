@@ -1,0 +1,103 @@
+"""Tests for the full-ranking evaluator and per-group breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ClientData
+from repro.eval.evaluator import EvaluationResult, Evaluator
+from repro.eval.groups import per_group_metrics
+
+
+def make_client(user_id, train, valid, test):
+    return ClientData(
+        user_id=user_id,
+        train_items=np.array(train, dtype=np.int64),
+        valid_items=np.array(valid, dtype=np.int64),
+        test_items=np.array(test, dtype=np.int64),
+    )
+
+
+@pytest.fixture()
+def clients():
+    return [
+        make_client(0, [0, 1], [], [2]),
+        make_client(1, [3], [4], [5]),
+        make_client(2, [6], [], []),  # no test items → skipped
+    ]
+
+
+class TestEvaluator:
+    def test_oracle_scores_perfect(self, clients):
+        """Scoring the test item highest gives recall = ndcg = 1."""
+        def oracle(client):
+            scores = np.zeros(10)
+            scores[client.test_items] = 1.0
+            return scores
+
+        result = Evaluator(clients, k=5).evaluate(oracle)
+        assert result.recall == 1.0
+        assert result.ndcg == 1.0
+        assert result.evaluated_users.tolist() == [0, 1]
+
+    def test_known_items_are_masked(self, clients):
+        """Even a huge score on a train item cannot displace test items,
+        because train/valid items are excluded from the ranking."""
+        def adversarial(client):
+            scores = np.zeros(10)
+            scores[client.known_items()] = 100.0
+            scores[client.test_items] = 1.0
+            return scores
+
+        result = Evaluator(clients, k=2).evaluate(adversarial)
+        assert result.recall == 1.0
+
+    def test_worst_case_scores(self, clients):
+        def inverse(client):
+            scores = np.ones(10)
+            scores[client.test_items] = -100.0
+            return scores
+
+        result = Evaluator(clients, k=2).evaluate(inverse)
+        assert result.recall == 0.0
+
+    def test_user_subset(self, clients):
+        def oracle(client):
+            scores = np.zeros(10)
+            scores[client.test_items] = 1.0
+            return scores
+
+        result = Evaluator(clients, k=5).evaluate(oracle, user_subset=[1])
+        assert result.evaluated_users.tolist() == [1]
+
+    def test_no_evaluable_users(self):
+        lonely = [make_client(0, [1], [], [])]
+        result = Evaluator(lonely).evaluate(lambda c: np.zeros(5))
+        assert result.recall == 0.0
+        assert result.evaluated_users.size == 0
+
+    def test_str(self, clients):
+        result = Evaluator(clients, k=7).evaluate(lambda c: np.zeros(10))
+        assert "Recall@7" in str(result)
+
+
+class TestPerGroupMetrics:
+    def test_group_split(self, clients):
+        def oracle(client):
+            scores = np.zeros(10)
+            if client.user_id == 0:
+                scores[client.test_items] = 1.0   # user 0: perfect
+            else:
+                scores[client.test_items] = -1.0  # others: guaranteed miss
+            return scores
+
+        result = Evaluator(clients, k=5).evaluate(oracle)
+        groups = per_group_metrics(result, {0: "s", 1: "l"})
+        assert groups["s"].ndcg == 1.0
+        assert groups["l"].ndcg == 0.0
+        assert groups["s"].num_users == 1
+        assert groups["m"].num_users == 0
+
+    def test_unknown_users_ignored(self, clients):
+        result = Evaluator(clients, k=5).evaluate(lambda c: np.zeros(10))
+        groups = per_group_metrics(result, {})
+        assert all(g.num_users == 0 for g in groups.values())

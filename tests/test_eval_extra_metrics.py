@@ -1,0 +1,189 @@
+"""Tests for the extended metric battery (HR/precision/MRR/AUC/coverage/Gini)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import ClientData
+from repro.eval.extra_metrics import (
+    auc_score,
+    extended_user_metrics,
+    gini_coefficient,
+    hit_rate_at_k,
+    item_coverage_at_k,
+    mrr_at_k,
+    precision_at_k,
+    recommendation_counts_at_k,
+)
+
+
+class TestHitRate:
+    def test_hit(self):
+        assert hit_rate_at_k([5, 3, 1], [3], k=3) == 1.0
+
+    def test_miss(self):
+        assert hit_rate_at_k([5, 3, 1], [9], k=3) == 0.0
+
+    def test_k_truncates(self):
+        assert hit_rate_at_k([5, 3, 1], [1], k=2) == 0.0
+
+    def test_empty_relevant(self):
+        assert hit_rate_at_k([1, 2], [], k=2) == 0.0
+
+
+class TestPrecision:
+    def test_exact_fraction(self):
+        assert precision_at_k([1, 2, 3, 4], [2, 4], k=4) == 0.5
+
+    def test_divides_by_k_not_list_length(self):
+        # Only 2 items ranked, K=4: hits / K.
+        assert precision_at_k([1, 2], [1, 2], k=4) == 0.5
+
+    def test_zero_k(self):
+        assert precision_at_k([1], [1], k=0) == 0.0
+
+
+class TestMRR:
+    def test_first_position(self):
+        assert mrr_at_k([7, 1, 2], [7], k=3) == 1.0
+
+    def test_third_position(self):
+        assert mrr_at_k([5, 6, 7], [7], k=3) == pytest.approx(1 / 3)
+
+    def test_only_first_hit_counts(self):
+        assert mrr_at_k([5, 7, 8], [7, 8], k=3) == pytest.approx(1 / 2)
+
+    def test_outside_k(self):
+        assert mrr_at_k([5, 6, 7], [7], k=2) == 0.0
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.9, 0.2, 0.95])
+        assert auc_score(scores, relevant=[1, 3]) == 1.0
+
+    def test_inverted(self):
+        scores = np.array([0.9, 0.1])
+        assert auc_score(scores, relevant=[1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=2000)
+        relevant = rng.choice(2000, size=500, replace=False)
+        assert abs(auc_score(scores, relevant) - 0.5) < 0.05
+
+    def test_ties_use_midrank(self):
+        scores = np.zeros(4)  # every pair is tied
+        assert auc_score(scores, relevant=[0, 1]) == 0.5
+
+    def test_excluded_items_not_counted_as_negatives(self):
+        scores = np.array([1.0, 0.5, 0.9, 0.0])
+        full = auc_score(scores, relevant=[1])
+        masked = auc_score(scores, relevant=[1], exclude=[0, 2])
+        assert masked > full  # the two high-scoring negatives were masked
+
+    def test_empty_relevant(self):
+        assert auc_score(np.ones(3), relevant=[]) == 0.0
+
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_auc_matches_brute_force(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.integers(0, 5, size=n).astype(float)  # ties likely
+        n_pos = rng.integers(1, n)
+        relevant = rng.choice(n, size=n_pos, replace=False)
+        fast = auc_score(scores, relevant)
+        pos = set(int(i) for i in relevant)
+        wins = ties = total = 0
+        for i in pos:
+            for j in range(n):
+                if j in pos:
+                    continue
+                total += 1
+                if scores[i] > scores[j]:
+                    wins += 1
+                elif scores[i] == scores[j]:
+                    ties += 1
+        if total == 0:
+            assert fast == 0.0
+        else:
+            assert fast == pytest.approx((wins + 0.5 * ties) / total)
+
+
+def _client(user_id, train, test):
+    return ClientData(
+        user_id=user_id,
+        train_items=np.asarray(train, dtype=np.int64),
+        valid_items=np.empty(0, dtype=np.int64),
+        test_items=np.asarray(test, dtype=np.int64),
+    )
+
+
+class TestCoverageAndCounts:
+    def _world(self):
+        clients = [_client(0, [0], [5]), _client(1, [1], [6])]
+
+        def score_fn(client):
+            scores = np.zeros(8)
+            scores[2] = 3.0  # item 2 tops every list
+            scores[3 + client.user_id] = 2.0  # one personalised item each
+            return scores
+
+        return clients, score_fn
+
+    def test_coverage_fraction(self):
+        clients, score_fn = self._world()
+        coverage = item_coverage_at_k(score_fn, clients, num_items=8, k=2)
+        # Top-2 lists: {2, 3} and {2, 4} → 3 of 8 items surfaced.
+        assert coverage == pytest.approx(3 / 8)
+
+    def test_counts(self):
+        clients, score_fn = self._world()
+        counts = recommendation_counts_at_k(score_fn, clients, num_items=8, k=2)
+        assert counts[2] == 2
+        assert counts[3] == 1 and counts[4] == 1
+        assert counts.sum() == 4
+
+    def test_empty_inputs(self):
+        assert item_coverage_at_k(lambda c: np.ones(3), [], num_items=3) == 0.0
+        assert item_coverage_at_k(lambda c: np.ones(0), [_client(0, [], [0])], 0) == 0.0
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([1, -1])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_and_scale_invariant(self, counts):
+        g = gini_coefficient(counts)
+        assert 0.0 <= g < 1.0
+        if sum(counts) > 0:
+            assert gini_coefficient([c * 3.0 for c in counts]) == pytest.approx(g)
+
+
+class TestExtendedUserMetrics:
+    def test_bundle(self):
+        client = _client(0, train=[0], test=[3])
+        scores = np.array([9.0, 0.1, 0.2, 5.0, 0.3])
+        metrics = extended_user_metrics(scores, client, k=2)
+        # Item 0 is masked (train); ranking is [3, 4, ...] → hit at rank 1.
+        assert metrics["hit_rate"] == 1.0
+        assert metrics["mrr"] == 1.0
+        assert metrics["precision"] == 0.5
+        assert metrics["auc"] == 1.0

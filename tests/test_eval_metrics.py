@@ -1,0 +1,103 @@
+"""Tests for Recall@K / NDCG@K and the ranking helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import ndcg_at_k, rank_items, recall_at_k
+
+
+class TestRankItems:
+    def test_descending_order(self):
+        ranked = rank_items(np.array([0.1, 0.9, 0.5]))
+        assert ranked.tolist() == [1, 2, 0]
+
+    def test_exclusion_masks_items(self):
+        ranked = rank_items(np.array([0.1, 0.9, 0.5]), exclude=np.array([1]))
+        assert ranked[0] == 2
+        assert ranked.tolist()[-1] == 1  # masked to -inf, sinks to bottom
+
+    def test_truncation(self):
+        ranked = rank_items(np.arange(10.0), k=3)
+        assert ranked.tolist() == [9, 8, 7]
+
+    def test_does_not_mutate_input(self):
+        scores = np.array([0.1, 0.9])
+        rank_items(scores, exclude=np.array([1]))
+        assert scores[1] == 0.9
+
+    def test_stable_ties(self):
+        ranked = rank_items(np.zeros(4))
+        assert ranked.tolist() == [0, 1, 2, 3]
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_k([1, 2, 3], [1, 2, 3], k=3) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k([1, 9, 8], [1, 2], k=3) == 0.5
+
+    def test_miss(self):
+        assert recall_at_k([7, 8, 9], [1], k=3) == 0.0
+
+    def test_empty_relevant(self):
+        assert recall_at_k([1, 2], [], k=2) == 0.0
+
+    def test_k_cutoff(self):
+        # Relevant item at position 3 does not count for k=2.
+        assert recall_at_k([9, 8, 1], [1], k=2) == 0.0
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=30, unique=True),
+        st.sets(st.integers(0, 50), min_size=1, max_size=10),
+        st.integers(1, 30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, ranked, relevant, k):
+        value = recall_at_k(ranked, relevant, k=k)
+        assert 0.0 <= value <= 1.0
+
+
+class TestNDCG:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_k([5, 3], [5, 3], k=2) == pytest.approx(1.0)
+
+    def test_position_discount(self):
+        # One relevant item at rank 1 vs rank 2.
+        first = ndcg_at_k([5, 0], [5], k=2)
+        second = ndcg_at_k([0, 5], [5], k=2)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(np.log(2) / np.log(3))
+        assert first > second
+
+    def test_hand_computed_case(self):
+        # Relevant {a, b}; ranking hits a at pos 0, b at pos 2.
+        ranked = ["a", "x", "b"]
+        relevant = ["a", "b"]
+        dcg = 1 / np.log2(2) + 1 / np.log2(4)
+        idcg = 1 / np.log2(2) + 1 / np.log2(3)
+        # item ids are ints in the real system; strings work via int()... use ints
+        ranked = [0, 7, 1]
+        relevant = [0, 1]
+        assert ndcg_at_k(ranked, relevant, k=3) == pytest.approx(dcg / idcg)
+
+    def test_empty_relevant(self):
+        assert ndcg_at_k([1], [], k=5) == 0.0
+
+    def test_idcg_caps_at_k(self):
+        # More relevant items than K: perfect top-K still scores 1.
+        assert ndcg_at_k([0, 1], [0, 1, 2, 3], k=2) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=30, unique=True),
+        st.sets(st.integers(0, 50), min_size=1, max_size=10),
+        st.integers(1, 30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_and_consistency(self, ranked, relevant, k):
+        value = ndcg_at_k(ranked, relevant, k=k)
+        assert 0.0 <= value <= 1.0 + 1e-12
+        # NDCG positive iff recall positive.
+        assert (value > 0) == (recall_at_k(ranked, relevant, k=k) > 0)

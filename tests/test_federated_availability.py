@@ -1,0 +1,186 @@
+"""Tests for the offline/straggler availability simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HeteFedRecConfig
+from repro.core.hetefedrec import HeteFedRec
+from repro.federated.availability import (
+    OFFLINE,
+    OK,
+    STRAGGLER,
+    AvailabilityConfig,
+    StragglerBuffer,
+    client_fate,
+    merge_duplicate_users,
+    split_round,
+)
+from repro.federated.payload import ClientUpdate
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityConfig(offline_rate=1.0)
+        with pytest.raises(ValueError):
+            AvailabilityConfig(straggler_rate=-0.1)
+        with pytest.raises(ValueError):
+            AvailabilityConfig(offline_rate=0.6, straggler_rate=0.5)
+        with pytest.raises(ValueError):
+            AvailabilityConfig(staleness_weight=1.5)
+
+    def test_enabled_flag(self):
+        assert not AvailabilityConfig(offline_rate=0.0, straggler_rate=0.0).enabled
+        assert AvailabilityConfig(offline_rate=0.1, straggler_rate=0.0).enabled
+
+
+class TestClientFate:
+    def test_deterministic(self):
+        config = AvailabilityConfig(offline_rate=0.3, straggler_rate=0.3)
+        assert client_fate(config, 1, 2, 3) == client_fate(config, 1, 2, 3)
+
+    def test_varies_with_round(self):
+        config = AvailabilityConfig(offline_rate=0.45, straggler_rate=0.45)
+        fates = {client_fate(config, 1, r, 7) for r in range(30)}
+        assert len(fates) >= 2
+
+    def test_rates_respected_statistically(self):
+        config = AvailabilityConfig(offline_rate=0.2, straggler_rate=0.1, seed=1)
+        fates = [client_fate(config, e, 0, u) for e in range(40) for u in range(100)]
+        offline = fates.count(OFFLINE) / len(fates)
+        straggler = fates.count(STRAGGLER) / len(fates)
+        assert abs(offline - 0.2) < 0.03
+        assert abs(straggler - 0.1) < 0.03
+
+    def test_zero_rates_always_ok(self):
+        config = AvailabilityConfig(offline_rate=0.0, straggler_rate=0.0)
+        assert all(client_fate(config, e, 0, u) == OK
+                   for e in range(5) for u in range(50))
+
+
+class TestSplitRound:
+    def test_partition_complete_and_disjoint(self):
+        config = AvailabilityConfig(offline_rate=0.3, straggler_rate=0.3, seed=2)
+        users = list(range(200))
+        on_time, stragglers, offline = split_round(config, 0, 0, users)
+        assert sorted(on_time + stragglers + offline) == users
+        assert not (set(on_time) & set(stragglers))
+        assert not (set(on_time) & set(offline))
+
+
+def make_update(user_id, value, group="s", heads=True):
+    head_deltas = {}
+    if heads:
+        head_deltas = {group: {"w": np.full((2, 2), float(value))}}
+    return ClientUpdate(
+        user_id=user_id,
+        group=group,
+        embedding_delta=np.full((4, 2), float(value)),
+        head_deltas=head_deltas,
+        num_examples=5,
+    )
+
+
+class TestMergeDuplicateUsers:
+    def test_no_duplicates_is_identity(self):
+        updates = [make_update(1, 1.0), make_update(2, 2.0)]
+        merged = merge_duplicate_users(updates)
+        assert [u.user_id for u in merged] == [1, 2]
+        assert merged[0] is updates[0]
+
+    def test_duplicates_sum(self):
+        merged = merge_duplicate_users([make_update(1, 1.0), make_update(1, 2.0)])
+        assert len(merged) == 1
+        assert np.allclose(merged[0].embedding_delta, 3.0)
+        assert np.allclose(merged[0].head_deltas["s"]["w"], 3.0)
+        assert merged[0].num_examples == 10
+
+    def test_order_preserved(self):
+        merged = merge_duplicate_users(
+            [make_update(5, 1.0), make_update(1, 1.0), make_update(5, 1.0)]
+        )
+        assert [u.user_id for u in merged] == [5, 1]
+
+    def test_disjoint_heads_union(self):
+        a = ClientUpdate(1, "m", np.ones((4, 3)),
+                         head_deltas={"s": {"w": np.ones((2, 2))}})
+        b = ClientUpdate(1, "m", np.ones((4, 3)),
+                         head_deltas={"m": {"w": np.ones((2, 2))}})
+        merged = merge_duplicate_users([a, b])[0]
+        assert set(merged.head_deltas) == {"s", "m"}
+
+
+class TestStragglerBuffer:
+    def test_scaled_on_add(self):
+        buffer = StragglerBuffer(staleness_weight=0.5)
+        buffer.add([make_update(1, 2.0)])
+        drained = buffer.drain()
+        assert np.allclose(drained[0].embedding_delta, 1.0)
+
+    def test_drain_empties(self):
+        buffer = StragglerBuffer()
+        buffer.add([make_update(1, 1.0)])
+        assert len(buffer) == 1
+        buffer.drain()
+        assert len(buffer) == 0
+        assert buffer.drain() == []
+
+    def test_discard_user(self):
+        buffer = StragglerBuffer()
+        buffer.add([make_update(1, 1.0), make_update(2, 1.0)])
+        buffer.discard_user(1)
+        assert [u.user_id for u in buffer.drain()] == [2]
+
+
+class TestTrainerIntegration:
+    def test_training_survives_availability(self, tiny_dataset, tiny_clients):
+        config = HeteFedRecConfig(
+            epochs=2, clients_per_round=16, local_epochs=1, seed=0,
+            availability=AvailabilityConfig(
+                offline_rate=0.2, straggler_rate=0.2, seed=3
+            ),
+        )
+        trainer = HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
+        history = trainer.fit()
+        assert np.isfinite(history.records[-1].train_loss)
+        # The nesting invariant holds regardless of who showed up (RESKD on
+        # perturbs it, so check the structural property via aggregation by
+        # re-running with RESKD off).
+        config_no_kd = config.copy_with(enable_reskd=False)
+        trainer2 = HeteFedRec(tiny_dataset.num_items, tiny_clients, config_no_kd)
+        trainer2.fit()
+        v_s = trainer2.models["s"].item_embedding.weight.data
+        v_l = trainer2.models["l"].item_embedding.weight.data
+        assert np.allclose(v_s, v_l[:, : v_s.shape[1]])
+
+    def test_disabled_availability_matches_baseline(self, tiny_dataset, tiny_clients):
+        base = HeteFedRecConfig(epochs=1, clients_per_round=16, local_epochs=1, seed=0)
+        with_zero = base.copy_with(
+            availability=AvailabilityConfig(offline_rate=0.0, straggler_rate=0.0)
+        )
+        a = HeteFedRec(tiny_dataset.num_items, tiny_clients, base)
+        b = HeteFedRec(tiny_dataset.num_items, tiny_clients, with_zero)
+        a.fit()
+        b.fit()
+        for group in a.groups:
+            assert np.allclose(
+                a.models[group].item_embedding.weight.data,
+                b.models[group].item_embedding.weight.data,
+            )
+
+    def test_availability_with_secure_aggregation(self, tiny_dataset, tiny_clients):
+        """Stragglers + secure agg: duplicate users are merged pre-masking."""
+        from repro.federated.secure_agg import SecureAggregationConfig
+
+        config = HeteFedRecConfig(
+            epochs=2, clients_per_round=8, local_epochs=1, seed=0,
+            availability=AvailabilityConfig(
+                offline_rate=0.1, straggler_rate=0.3, seed=5
+            ),
+            secure_aggregation=SecureAggregationConfig(),
+        )
+        trainer = HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
+        history = trainer.fit()
+        assert np.isfinite(history.records[-1].train_loss)

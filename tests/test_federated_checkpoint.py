@@ -1,0 +1,114 @@
+"""Tests for checkpoint save/load and inference-model restoration."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import HeteFedRec, HeteFedRecConfig
+from repro.federated.checkpoint import (
+    load_checkpoint,
+    load_inference_model,
+    save_checkpoint,
+    user_embedding_from_checkpoint,
+)
+
+
+@pytest.fixture()
+def trained(tiny_dataset, tiny_clients):
+    config = HeteFedRecConfig(
+        dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1, lr=0.01, seed=0
+    )
+    trainer = HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
+    trainer.run_epoch(1)
+    return trainer
+
+
+def fresh_trainer(tiny_dataset, tiny_clients, seed=123):
+    config = HeteFedRecConfig(
+        dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1, lr=0.01, seed=seed
+    )
+    return HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
+
+
+class TestSaveLoad:
+    def test_roundtrip_restores_everything(
+        self, trained, tiny_dataset, tiny_clients, tmp_path
+    ):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trained, path)
+        other = fresh_trainer(tiny_dataset, tiny_clients)
+        load_checkpoint(other, path)
+
+        for group in trained.groups:
+            a = trained.models[group].state_dict()
+            b = other.models[group].state_dict()
+            for key in a:
+                assert np.array_equal(a[key], b[key]), (group, key)
+        for user_id, runtime in trained.runtimes.items():
+            assert np.array_equal(
+                runtime.user_embedding, other.runtimes[user_id].user_embedding
+            )
+
+    def test_restored_trainer_scores_identically(
+        self, trained, tiny_dataset, tiny_clients, tmp_path
+    ):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trained, path)
+        other = fresh_trainer(tiny_dataset, tiny_clients)
+        load_checkpoint(other, path)
+        client = tiny_clients[0]
+        assert np.allclose(
+            trained.score_all_items(client), other.score_all_items(client)
+        )
+
+    def test_meta_sidecar_written(self, trained, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trained, path)
+        assert os.path.exists(path + ".meta.json")
+
+
+class TestInferenceModel:
+    def test_load_single_group(self, trained, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trained, path)
+        model, meta = load_inference_model(path, "l")
+        assert model.dim == 8
+        assert meta["num_items"] == trained.num_items
+        assert np.array_equal(
+            model.item_embedding.weight.data,
+            trained.models["l"].item_embedding.weight.data,
+        )
+
+    def test_unknown_group(self, trained, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trained, path)
+        with pytest.raises(KeyError):
+            load_inference_model(path, "xl")
+
+    def test_user_embedding_fetch(self, trained, tiny_clients, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trained, path)
+        user = tiny_clients[0].user_id
+        values = user_embedding_from_checkpoint(path, user)
+        assert np.array_equal(values, trained.runtimes[user].user_embedding)
+        with pytest.raises(KeyError):
+            user_embedding_from_checkpoint(path, 10_000)
+
+    def test_end_to_end_serving(self, trained, tiny_clients, tmp_path):
+        """Deploy path: restore model + embedding, score a user."""
+        from repro.autograd.tensor import Tensor, no_grad
+
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trained, path)
+        client = tiny_clients[0]
+        group = trained.group_of[client.user_id]
+        model, _ = load_inference_model(path, group)
+        embedding = user_embedding_from_checkpoint(path, client.user_id)
+        with no_grad():
+            scores = model.logits(
+                Tensor(embedding),
+                np.arange(trained.num_items),
+                train_item_ids=client.train_items,
+            )
+        assert np.allclose(scores.data, trained.score_all_items(client))

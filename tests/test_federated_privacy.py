@@ -1,0 +1,168 @@
+"""Tests for upload protection: clipping, LDP noise, pseudo-items."""
+
+import numpy as np
+import pytest
+
+from repro.core import HeteFedRec, HeteFedRecConfig
+from repro.federated.payload import ClientUpdate
+from repro.federated.privacy import (
+    PrivacyConfig,
+    add_pseudo_items,
+    clip_rows,
+    gaussian_noise_like,
+    protect_update,
+    touched_rows,
+)
+
+
+def sparse_update(num_items=20, dim=4, touched=(1, 5, 9), seed=0):
+    rng = np.random.default_rng(seed)
+    delta = np.zeros((num_items, dim))
+    for row in touched:
+        delta[row] = rng.normal(0, 0.5, dim)
+    return ClientUpdate(
+        user_id=0,
+        group="s",
+        embedding_delta=delta,
+        head_deltas={"s": {"w": rng.normal(0, 0.1, 6)}},
+    )
+
+
+class TestPrivacyConfig:
+    def test_disabled_by_default(self):
+        assert not PrivacyConfig().enabled
+
+    def test_enabled_when_any_set(self):
+        assert PrivacyConfig(clip_norm=1.0).enabled
+        assert PrivacyConfig(noise_std=0.1).enabled
+        assert PrivacyConfig(pseudo_items=4).enabled
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyConfig(clip_norm=-1.0)
+        with pytest.raises(ValueError):
+            PrivacyConfig(pseudo_items=-1)
+
+
+class TestClipping:
+    def test_rows_bounded(self):
+        delta = np.array([[3.0, 4.0], [0.3, 0.4]])
+        clipped = clip_rows(delta, max_norm=1.0)
+        norms = np.linalg.norm(clipped, axis=1)
+        assert norms[0] == pytest.approx(1.0)
+        assert norms[1] == pytest.approx(0.5)  # already under the bound
+
+    def test_direction_preserved(self):
+        delta = np.array([[3.0, 4.0]])
+        clipped = clip_rows(delta, max_norm=1.0)
+        assert np.allclose(clipped / np.linalg.norm(clipped), delta / 5.0)
+
+    def test_zero_norm_disables(self):
+        delta = np.array([[10.0, 0.0]])
+        assert np.array_equal(clip_rows(delta, 0.0), delta)
+
+
+class TestPseudoItems:
+    def test_support_grows_with_untouched_rows(self):
+        update = sparse_update()
+        protected = add_pseudo_items(
+            update.embedding_delta, 5, np.random.default_rng(0)
+        )
+        before = set(touched_rows(update.embedding_delta))
+        after = set(touched_rows(protected))
+        assert before < after
+        assert len(after) == len(before) + 5
+
+    def test_fake_norms_within_real_range(self):
+        update = sparse_update()
+        protected = add_pseudo_items(
+            update.embedding_delta, 8, np.random.default_rng(1)
+        )
+        real = touched_rows(update.embedding_delta)
+        fake = np.setdiff1d(touched_rows(protected), real)
+        real_norms = np.linalg.norm(update.embedding_delta[real], axis=1)
+        fake_norms = np.linalg.norm(protected[fake], axis=1)
+        assert fake_norms.min() >= real_norms.min() - 1e-9
+        assert fake_norms.max() <= real_norms.max() + 1e-9
+
+    def test_real_rows_unchanged(self):
+        update = sparse_update()
+        protected = add_pseudo_items(
+            update.embedding_delta, 3, np.random.default_rng(2)
+        )
+        real = touched_rows(update.embedding_delta)
+        assert np.array_equal(protected[real], update.embedding_delta[real])
+
+    def test_zero_count_is_identity(self):
+        update = sparse_update()
+        out = add_pseudo_items(update.embedding_delta, 0, np.random.default_rng(0))
+        assert out is update.embedding_delta
+
+
+class TestProtectUpdate:
+    def test_disabled_passthrough(self):
+        update = sparse_update()
+        out = protect_update(update, PrivacyConfig(), np.random.default_rng(0))
+        assert out is update
+
+    def test_noise_perturbs_support_only(self):
+        update = sparse_update()
+        config = PrivacyConfig(clip_norm=1.0, noise_std=0.1)
+        out = protect_update(update, config, np.random.default_rng(0))
+        untouched = np.setdiff1d(
+            np.arange(20), touched_rows(update.embedding_delta)
+        )
+        assert np.allclose(out.embedding_delta[untouched], 0.0)
+        support = touched_rows(update.embedding_delta)
+        assert not np.allclose(out.embedding_delta[support],
+                               update.embedding_delta[support])
+
+    def test_heads_also_noised(self):
+        update = sparse_update()
+        config = PrivacyConfig(noise_std=0.5)
+        out = protect_update(update, config, np.random.default_rng(0))
+        assert not np.allclose(out.head_deltas["s"]["w"], update.head_deltas["s"]["w"])
+
+    def test_original_never_mutated(self):
+        update = sparse_update()
+        snapshot = update.embedding_delta.copy()
+        protect_update(
+            update,
+            PrivacyConfig(clip_norm=0.1, noise_std=1.0, pseudo_items=5),
+            np.random.default_rng(0),
+        )
+        assert np.array_equal(update.embedding_delta, snapshot)
+
+
+class TestTrainerIntegration:
+    def test_private_training_runs_and_obfuscates(self, tiny_dataset, tiny_clients):
+        config = HeteFedRecConfig(
+            dims={"s": 4, "m": 6, "l": 8},
+            epochs=1,
+            local_epochs=1,
+            lr=0.01,
+            seed=0,
+            privacy=PrivacyConfig(clip_norm=0.5, noise_std=0.05, pseudo_items=4),
+        )
+        trainer = HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
+        runtime = next(iter(trainer.runtimes.values()))
+        update = trainer.train_client(runtime)
+        support = touched_rows(update.embedding_delta)
+        # Support must exceed the client's true item exposure by the
+        # pseudo count (batch = train items + sampled negatives).
+        assert support.size > 0
+        assert np.isfinite(trainer.run_epoch(1))
+
+    def test_privacy_off_is_exact_baseline(self, tiny_dataset, tiny_clients):
+        base_cfg = HeteFedRecConfig(
+            dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1, lr=0.01, seed=0
+        )
+        private_cfg = base_cfg.copy_with(privacy=PrivacyConfig())
+        a = HeteFedRec(tiny_dataset.num_items, tiny_clients, base_cfg)
+        b = HeteFedRec(tiny_dataset.num_items, tiny_clients, private_cfg)
+        a.run_epoch(1)
+        b.run_epoch(1)
+        assert np.allclose(
+            a.models["l"].item_embedding.weight.data,
+            b.models["l"].item_embedding.weight.data,
+        )

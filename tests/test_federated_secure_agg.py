@@ -1,0 +1,244 @@
+"""Tests for secure aggregation: codec, masking, dropout, heterogeneity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federated.aggregation import (
+    aggregate_head_updates,
+    padded_embedding_aggregate,
+)
+from repro.federated.payload import ClientUpdate
+from repro.federated.secure_agg import (
+    FixedPointCodec,
+    SecureAggregationConfig,
+    SecureAggregationSession,
+    pairwise_mask,
+    secure_aggregate_updates,
+    shared_pair_seed,
+)
+
+
+class TestFixedPointCodec:
+    def test_round_trip_within_error_bound(self):
+        codec = FixedPointCodec(precision_bits=24, clip_range=64.0)
+        values = np.array([0.0, 1.0, -1.0, 3.14159, -2.71828, 63.999])
+        decoded = codec.decode(codec.encode(values))
+        assert np.max(np.abs(decoded - values)) <= codec.quantisation_error_bound()
+
+    def test_clipping_applies(self):
+        codec = FixedPointCodec(precision_bits=8, clip_range=2.0)
+        decoded = codec.decode(codec.encode(np.array([100.0, -100.0])))
+        assert np.allclose(decoded, [2.0, -2.0])
+
+    def test_negative_values_survive_field_representation(self):
+        codec = FixedPointCodec()
+        values = np.array([-0.5, -1e-3, -10.0])
+        assert np.all(codec.decode(codec.encode(values)) < 0)
+
+    def test_field_addition_matches_real_addition(self):
+        codec = FixedPointCodec(precision_bits=20)
+        a, b = np.array([1.25, -3.5]), np.array([2.75, 1.5])
+        total = codec.decode(codec.encode(a) + codec.encode(b))
+        assert np.allclose(total, a + b, atol=2 * codec.quantisation_error_bound())
+
+    @given(
+        st.lists(
+            st.floats(min_value=-60, max_value=60, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, floats):
+        codec = FixedPointCodec(precision_bits=24, clip_range=64.0)
+        values = np.array(floats)
+        decoded = codec.decode(codec.encode(values))
+        assert np.max(np.abs(decoded - values)) <= codec.quantisation_error_bound()
+
+
+class TestPairSeedsAndMasks:
+    def test_pair_seed_is_order_independent(self):
+        assert shared_pair_seed(0, 3, 9) == shared_pair_seed(0, 9, 3)
+
+    def test_pair_seed_depends_on_root(self):
+        assert shared_pair_seed(0, 3, 9) != shared_pair_seed(1, 3, 9)
+
+    def test_pair_seed_depends_on_pair(self):
+        assert shared_pair_seed(0, 3, 9) != shared_pair_seed(0, 3, 10)
+
+    def test_mask_is_deterministic_per_round(self):
+        assert np.array_equal(pairwise_mask(42, 1, 8), pairwise_mask(42, 1, 8))
+
+    def test_mask_changes_across_rounds(self):
+        assert not np.array_equal(pairwise_mask(42, 1, 64), pairwise_mask(42, 2, 64))
+
+    def test_mask_values_cover_field(self):
+        mask = pairwise_mask(7, 0, 10_000)
+        # A uniform 64-bit sample should populate the upper half too.
+        assert mask.max() > np.uint64(2**63)
+
+
+class TestSecureAggregationSession:
+    def _session(self, ids=(1, 2, 3), size=16, round_id=0):
+        return SecureAggregationSession(ids, size, round_id, SecureAggregationConfig(seed=5))
+
+    def test_sum_recovered_exactly_up_to_quantisation(self):
+        session = self._session()
+        rng = np.random.default_rng(0)
+        vectors = {i: rng.normal(size=16) for i in (1, 2, 3)}
+        masked = {i: session.mask(i, v) for i, v in vectors.items()}
+        total = session.unmask(masked)
+        expected = sum(vectors.values())
+        assert np.allclose(total, expected, atol=1e-5)
+
+    def test_single_upload_is_statistically_hidden(self):
+        """A masked vector must not correlate with its plaintext."""
+        session = self._session(size=4096)
+        plain = np.ones(4096)
+        masked = session.mask(1, plain).view(np.int64).astype(np.float64)
+        corr = np.corrcoef(masked, plain + np.random.default_rng(1).normal(size=4096))[0, 1]
+        assert abs(corr) < 0.1
+
+    def test_masks_cancel_pairwise(self):
+        session = self._session(ids=(10, 20))
+        zero = np.zeros(16)
+        total = session.unmask({10: session.mask(10, zero), 20: session.mask(20, zero)})
+        assert np.allclose(total, 0.0, atol=1e-6)
+
+    def test_dropout_recovery(self):
+        session = self._session(ids=(1, 2, 3, 4))
+        vectors = {i: np.full(16, float(i)) for i in (1, 2, 3, 4)}
+        masked = {i: session.mask(i, v) for i, v in vectors.items()}
+        del masked[3]
+        total = session.unmask(masked, dropouts=[3])
+        assert np.allclose(total, 1 + 2 + 4, atol=1e-5)
+
+    def test_multiple_dropouts(self):
+        session = self._session(ids=(1, 2, 3, 4, 5))
+        masked = {i: session.mask(i, np.full(16, 1.0)) for i in (1, 2, 5)}
+        total = session.unmask(masked, dropouts=[3, 4])
+        assert np.allclose(total, 3.0, atol=1e-5)
+
+    def test_missing_upload_without_dropout_declaration_raises(self):
+        session = self._session()
+        masked = {1: session.mask(1, np.zeros(16))}
+        with pytest.raises(KeyError):
+            session.unmask(masked)
+
+    def test_unknown_client_rejected(self):
+        session = self._session()
+        with pytest.raises(KeyError):
+            session.mask(99, np.zeros(16))
+
+    def test_wrong_vector_size_rejected(self):
+        session = self._session()
+        with pytest.raises(ValueError):
+            session.mask(1, np.zeros(5))
+
+    def test_duplicate_participants_rejected(self):
+        with pytest.raises(ValueError):
+            SecureAggregationSession([1, 1, 2], 4, 0)
+
+    @given(
+        n_clients=st.integers(min_value=2, max_value=6),
+        size=st.integers(min_value=1, max_value=32),
+        round_id=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_sum_property(self, n_clients, size, round_id):
+        ids = list(range(1, n_clients + 1))
+        session = SecureAggregationSession(ids, size, round_id, SecureAggregationConfig())
+        rng = np.random.default_rng(round_id)
+        vectors = {i: rng.uniform(-10, 10, size=size) for i in ids}
+        masked = {i: session.mask(i, v) for i, v in vectors.items()}
+        assert np.allclose(session.unmask(masked), sum(vectors.values()), atol=1e-4)
+
+
+class TestSecureAggregateUpdates:
+    DIMS = {"s": 2, "m": 3, "l": 4}
+
+    def _updates(self, seed=0):
+        rng = np.random.default_rng(seed)
+        updates = []
+        for user_id, group in [(3, "s"), (9, "m"), (1, "l"), (5, "s")]:
+            width = self.DIMS[group]
+            heads = {
+                group: {
+                    "w": rng.normal(size=(3, 2)),
+                    "b": rng.normal(size=(2,)),
+                }
+            }
+            updates.append(
+                ClientUpdate(
+                    user_id=user_id,
+                    group=group,
+                    embedding_delta=rng.normal(size=(6, width)),
+                    head_deltas=heads,
+                )
+            )
+        return updates
+
+    def test_matches_plain_padded_sum(self):
+        updates = self._updates()
+        config = SecureAggregationConfig(seed=11)
+        secure_emb, secure_heads = secure_aggregate_updates(
+            updates, self.DIMS, config, round_id=3
+        )
+        plain_emb = padded_embedding_aggregate(updates, self.DIMS, mode="sum")
+        plain_heads = aggregate_head_updates(updates, mode="sum")
+        for group in self.DIMS:
+            assert np.allclose(secure_emb[group], plain_emb[group], atol=1e-5)
+        for head_group, state in plain_heads.items():
+            for name, values in state.items():
+                assert np.allclose(secure_heads[head_group][name], values, atol=1e-5)
+
+    def test_head_counts_reproduce_mean_mode(self):
+        updates = self._updates()
+        counts = {}
+        for update in updates:
+            for head_group in update.head_deltas:
+                counts[head_group] = counts.get(head_group, 0) + 1
+        _, secure_heads = secure_aggregate_updates(
+            updates, self.DIMS, SecureAggregationConfig(), round_id=0, head_counts=counts
+        )
+        plain_heads = aggregate_head_updates(updates, mode="mean")
+        for head_group, state in plain_heads.items():
+            for name, values in state.items():
+                assert np.allclose(secure_heads[head_group][name], values, atol=1e-5)
+
+    def test_dropout_drops_that_clients_contribution(self):
+        updates = self._updates()
+        config = SecureAggregationConfig(seed=2)
+        emb, _ = secure_aggregate_updates(
+            updates, self.DIMS, config, round_id=1, dropouts=[9]
+        )
+        survivors = [u for u in updates if u.user_id != 9]
+        plain = padded_embedding_aggregate(survivors, self.DIMS, mode="sum")
+        assert np.allclose(emb["l"], plain["l"], atol=1e-5)
+
+    def test_empty_round(self):
+        emb, heads = secure_aggregate_updates([], self.DIMS, SecureAggregationConfig(), 0)
+        assert emb == {} and heads == {}
+
+    def test_different_rounds_use_different_masks(self):
+        """The same upload masked in two rounds must differ (no mask reuse)."""
+        updates = self._updates()
+        layout_size = 6 * 4 + 2 * (3 * 2 + 2)  # embeddings + two trained heads
+        config = SecureAggregationConfig(seed=1)
+        ids = [u.user_id for u in updates]
+        s1 = SecureAggregationSession(ids, layout_size, 1, config)
+        s2 = SecureAggregationSession(ids, layout_size, 2, config)
+        vector = np.zeros(layout_size)
+        assert not np.array_equal(s1.mask(3, vector), s2.mask(3, vector))
+
+
+class TestConfigValidation:
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            SecureAggregationConfig(precision_bits=0)
+
+    def test_bad_clip(self):
+        with pytest.raises(ValueError):
+            SecureAggregationConfig(clip_range=-1.0)

@@ -1,0 +1,169 @@
+"""Tests for NCF, LightGCN, the scoring head and the model factory."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.models import NCF, LightGCN, ScoringHead, build_model
+from repro.models.base import tile_user
+from repro.nn.module import Parameter
+
+
+RNG = np.random.default_rng(0)
+
+
+def user_vec(dim, requires_grad=True, seed=0):
+    values = np.random.default_rng(seed).normal(0, 0.1, dim)
+    return Parameter(values) if requires_grad else Tensor(values)
+
+
+class TestScoringHead:
+    def test_output_shape(self):
+        head = ScoringHead(8, rng=np.random.default_rng(0))
+        out = head(Tensor(np.ones((5, 8))), Tensor(np.ones((5, 8))))
+        assert out.shape == (5,)
+
+    def test_gmf_initialised_to_inner_product(self):
+        """At init the GMF path contributes exactly u·v."""
+        head = ScoringHead(4, rng=np.random.default_rng(0))
+        assert np.allclose(head.gmf.weight.data, 1.0)
+
+    def test_hidden_widths_respected(self):
+        head = ScoringHead(8, hidden=(6, 3), rng=np.random.default_rng(0))
+        layers = list(head.ffn)
+        assert layers[0].weight.shape == (16, 6)
+        assert layers[2].weight.shape == (6, 3)
+        assert layers[4].weight.shape == (3, 1)
+
+
+class TestTileUser:
+    def test_broadcast_and_gradient(self):
+        u = Parameter(np.array([1.0, 2.0]))
+        tiled = tile_user(u, 3)
+        assert tiled.shape == (3, 2)
+        tiled.sum().backward()
+        assert np.allclose(u.grad, [3.0, 3.0])
+
+
+class TestNCF:
+    def test_logits_shape(self):
+        model = NCF(num_items=20, dim=8, rng=np.random.default_rng(0))
+        out = model.logits(user_vec(8), np.array([0, 5, 19]))
+        assert out.shape == (3,)
+
+    def test_prefix_scoring_uses_prefix_columns_only(self):
+        model = NCF(num_items=10, dim=8, rng=np.random.default_rng(0))
+        small_head = ScoringHead(4, rng=np.random.default_rng(1))
+        u = user_vec(8)
+        out = model.logits(u, np.array([1, 2]), width=4, head=small_head)
+        out.sum().backward()
+        grad = model.item_embedding.weight.grad
+        # Gradient exists in prefix columns of touched rows, zero elsewhere.
+        assert np.abs(grad[[1, 2], :4]).sum() > 0
+        assert np.abs(grad[:, 4:]).sum() == 0
+        assert np.abs(grad[[0, 3, 9]]).sum() == 0
+        # The private user embedding receives gradient only on its prefix.
+        assert np.abs(u.grad[:4]).sum() > 0
+        assert np.abs(u.grad[4:]).sum() == 0
+
+    def test_width_exceeding_dim_rejected(self):
+        model = NCF(num_items=10, dim=4, rng=np.random.default_rng(0))
+        big_head = ScoringHead(8, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.logits(user_vec(8), np.array([0]), width=8, head=big_head)
+
+    def test_head_width_mismatch_rejected(self):
+        model = NCF(num_items=10, dim=8, rng=np.random.default_rng(0))
+        wrong_head = ScoringHead(4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            model.logits(user_vec(8), np.array([0]), head=wrong_head)
+
+    def test_ignores_local_graph(self):
+        model = NCF(num_items=10, dim=4, rng=np.random.default_rng(0))
+        u = user_vec(4, requires_grad=False)
+        a = model.logits(u, np.array([0, 1]), train_item_ids=np.array([5]))
+        b = model.logits(u, np.array([0, 1]), train_item_ids=None)
+        assert np.allclose(a.data, b.data)
+
+
+class TestLightGCN:
+    def test_propagation_math(self):
+        """Hand-check the star-graph propagation for one user."""
+        model = LightGCN(num_items=4, dim=2, rng=np.random.default_rng(0))
+        V = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 2.0], [4.0, 0.0]])
+        model.item_embedding.weight.data[...] = V
+        u = np.array([1.0, 1.0])
+        train = np.array([0, 1])
+
+        logits = model.logits(Tensor(u), np.array([0, 2]), train_item_ids=train)
+
+        u_prop = (u + V[[0, 1]].mean(axis=0)) / 2            # (1.5, 1.5)/... → (0.75,0.75)+...
+        expected_u = (u + np.array([0.5, 0.5])) / 2
+        expected_item0 = (V[0] + u) / 2   # interacted
+        expected_item2 = V[2]             # not interacted
+
+        head = model.head
+        x0 = np.concatenate([expected_u, expected_item0])
+        x2 = np.concatenate([expected_u, expected_item2])
+
+        def head_forward(x_pair, u_vec, v_vec):
+            h = x_pair
+            for layer in head.ffn:
+                if hasattr(layer, "weight"):
+                    h = h @ layer.weight.data + layer.bias.data
+                else:
+                    h = np.maximum(h, 0)
+            return h[0] + (u_vec * v_vec) @ head.gmf.weight.data[:, 0]
+
+        assert logits.data[0] == pytest.approx(
+            head_forward(x0, expected_u, expected_item0)
+        )
+        assert logits.data[1] == pytest.approx(
+            head_forward(x2, expected_u, expected_item2)
+        )
+
+    def test_empty_local_graph_degenerates(self):
+        model = LightGCN(num_items=5, dim=3, rng=np.random.default_rng(0))
+        u = user_vec(3, requires_grad=False)
+        out = model.logits(u, np.array([0, 1]), train_item_ids=np.array([]))
+        assert out.shape == (2,)
+
+    def test_gradient_flows_through_neighbourhood(self):
+        """Scoring a *non-interacted* item still sends gradient into the
+        user's train items through the propagation average."""
+        model = LightGCN(num_items=6, dim=3, rng=np.random.default_rng(0))
+        u = user_vec(3)
+        out = model.logits(u, np.array([5]), train_item_ids=np.array([0, 1]))
+        out.sum().backward()
+        grad = model.item_embedding.weight.grad
+        assert np.abs(grad[[0, 1]]).sum() > 0
+
+    def test_prefix_scoring(self):
+        model = LightGCN(num_items=6, dim=8, rng=np.random.default_rng(0))
+        head = ScoringHead(4, rng=np.random.default_rng(1))
+        out = model.logits(
+            user_vec(8), np.array([0, 2]), train_item_ids=np.array([1]),
+            width=4, head=head,
+        )
+        assert out.shape == (2,)
+
+
+class TestFactory:
+    def test_build_by_name(self):
+        assert isinstance(build_model("ncf", 10, 4), NCF)
+        assert isinstance(build_model("LIGHTGCN", 10, 4), LightGCN)
+
+    def test_unknown_arch(self):
+        with pytest.raises(KeyError):
+            build_model("bert", 10, 4)
+
+    def test_explicit_item_weight(self):
+        weight = np.full((10, 4), 0.5)
+        model = build_model("ncf", 10, 4, item_weight=weight)
+        assert np.allclose(model.item_embedding.weight.data, 0.5)
+
+    def test_parameter_partition(self):
+        model = build_model("ncf", 10, 4)
+        assert model.embedding_key() == "item_embedding.weight"
+        head_keys = set(model.head_state())
+        assert all(k.startswith("head.") for k in head_keys)

@@ -1,0 +1,66 @@
+"""Tests for seeded initialisers, especially nested (shared-prefix) tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import init
+
+
+class TestBasicInitializers:
+    def test_normal_std(self):
+        values = init.normal((2000, 8), std=0.05, rng=np.random.default_rng(0))
+        assert values.std() == pytest.approx(0.05, rel=0.1)
+
+    def test_xavier_bounds(self):
+        shape = (16, 24)
+        values = init.xavier_uniform(shape, rng=np.random.default_rng(0))
+        limit = np.sqrt(6.0 / sum(shape))
+        assert np.all(np.abs(values) <= limit)
+
+    def test_zeros(self):
+        assert np.all(init.zeros((3, 3)) == 0.0)
+
+    def test_determinism_with_seed(self):
+        a = init.normal((4, 4), rng=np.random.default_rng(3))
+        b = init.normal((4, 4), rng=np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestNestedEmbeddingTables:
+    def test_prefix_sharing_invariant(self):
+        """The Eq. 10 precondition: every smaller table is a prefix slice."""
+        tables = init.nested_embedding_tables(
+            50, [8, 16, 32], rng=np.random.default_rng(1)
+        )
+        assert np.array_equal(tables[8], tables[16][:, :8])
+        assert np.array_equal(tables[8], tables[32][:, :8])
+        assert np.array_equal(tables[16], tables[32][:, :16])
+
+    def test_tables_are_independent_copies(self):
+        tables = init.nested_embedding_tables(10, [4, 8], rng=np.random.default_rng(2))
+        tables[4][0, 0] = 99.0
+        assert tables[8][0, 0] != 99.0
+
+    def test_shapes(self):
+        tables = init.nested_embedding_tables(12, [2, 6], rng=np.random.default_rng(0))
+        assert tables[2].shape == (12, 2)
+        assert tables[6].shape == (12, 6)
+
+    def test_empty_dims_rejected(self):
+        with pytest.raises(ValueError):
+            init.nested_embedding_tables(10, [])
+
+    @given(
+        st.lists(st.integers(1, 24), min_size=1, max_size=4, unique=True),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_prefix_property_holds_for_any_dims(self, dims, num_items):
+        tables = init.nested_embedding_tables(
+            num_items, dims, rng=np.random.default_rng(0)
+        )
+        ordered = sorted(dims)
+        for smaller, larger in zip(ordered[:-1], ordered[1:]):
+            assert np.array_equal(tables[smaller], tables[larger][:, :smaller])

@@ -1,0 +1,126 @@
+"""Tests for SGD and Adam: exact step math and convergence behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_step(optimizer, param, target):
+    optimizer.zero_grad()
+    loss = ((param - Tensor(target)) ** 2).sum()
+    loss.backward()
+    optimizer.step()
+    return float(loss.data)
+
+
+class TestSGD:
+    def test_single_step_math(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert np.allclose(p.data, [0.8])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()  # velocity = 1 → p = -1
+        p.grad = np.array([1.0])
+        opt.step()  # velocity = 1.9 → p = -2.9
+        assert np.allclose(p.data, [-2.9])
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert np.allclose(p.data, [10.0 - 0.1 * 0.5 * 10.0])
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD([p], lr=0.1)
+        target = np.array([1.0, 2.0])
+        for _ in range(200):
+            quadratic_step(opt, p, target)
+        assert np.allclose(p.data, target, atol=1e-4)
+
+
+class TestAdam:
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, the first Adam step is lr * sign(grad).
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        assert np.allclose(p.data, [-0.01], atol=1e-6)
+
+    def test_two_steps_match_reference(self):
+        # Hand-computed two steps of Adam on a constant gradient of 1.
+        lr, b1, b2, eps = 0.1, 0.9, 0.999, 1e-8
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=lr, betas=(b1, b2), eps=eps)
+        m = v = 0.0
+        x = 0.0
+        for t in (1, 2):
+            g = 1.0
+            m = b1 * m + (1 - b1) * g
+            v = b2 * v + (1 - b2) * g * g
+            x -= lr * (m / (1 - b1**t)) / (np.sqrt(v / (1 - b2**t)) + eps)
+            p.grad = np.array([g])
+            opt.step()
+        assert np.allclose(p.data, [x], atol=1e-10)
+
+    def test_per_parameter_state(self):
+        a = Parameter(np.array([0.0]))
+        b = Parameter(np.array([0.0]))
+        opt = Adam([a, b], lr=0.1)
+        a.grad = np.array([1.0])
+        opt.step()  # only a has grad → only a moves
+        assert a.data[0] != 0.0
+        assert b.data[0] == 0.0
+
+    def test_reset_state(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0])
+        opt.step()
+        opt.reset_state()
+        assert not opt._m and not opt._v and not opt._t
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.05)
+        target = np.array([1.0, 2.0])
+        for _ in range(500):
+            quadratic_step(opt, p, target)
+        assert np.allclose(p.data, target, atol=1e-3)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        for _ in range(100):
+            p.grad = np.zeros(1)
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+
+class TestOptimizerValidation:
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=-1.0)

@@ -1,0 +1,354 @@
+"""Tests for the poisoning attacks, robust aggregators, and harness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import HeteFedRecConfig
+from repro.federated.aggregation import padded_embedding_aggregate
+from repro.federated.payload import ClientUpdate
+from repro.robustness import (
+    AdversarialHeteFedRec,
+    AttackConfig,
+    RobustAggregationConfig,
+    choose_malicious,
+    exposure_at_k,
+    krum_select,
+    poison_update,
+    prediction_shift,
+    robust_embedding_aggregate,
+    server_clip_updates,
+)
+
+DIMS = {"s": 2, "m": 3, "l": 4}
+
+
+def honest_update(user_id=0, group="s", rows=10, seed=0, touched=(0, 1, 2)):
+    rng = np.random.default_rng(seed)
+    delta = np.zeros((rows, DIMS[group]))
+    for row in touched:
+        delta[row] = rng.normal(0, 0.1, size=DIMS[group])
+    return ClientUpdate(
+        user_id=user_id,
+        group=group,
+        embedding_delta=delta,
+        head_deltas={group: {"w": rng.normal(0, 0.1, size=(3, 2))}},
+    )
+
+
+class TestAttackConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttackConfig(kind="ddos")
+        with pytest.raises(ValueError):
+            AttackConfig(fraction=1.5)
+        with pytest.raises(ValueError):
+            AttackConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            AttackConfig(target_item=-1)
+
+
+class TestChooseMalicious:
+    def test_fraction_respected(self, tiny_clients):
+        malicious = choose_malicious(tiny_clients, 0.25, seed=1)
+        assert len(malicious) == round(len(tiny_clients) * 0.25)
+
+    def test_zero_fraction_empty(self, tiny_clients):
+        assert choose_malicious(tiny_clients, 0.0) == set()
+
+    def test_deterministic_per_seed(self, tiny_clients):
+        assert choose_malicious(tiny_clients, 0.2, seed=5) == choose_malicious(
+            tiny_clients, 0.2, seed=5
+        )
+        assert choose_malicious(tiny_clients, 0.2, seed=5) != choose_malicious(
+            tiny_clients, 0.2, seed=6
+        )
+
+
+class TestPoisonUpdate:
+    def test_signflip_negates_and_scales(self):
+        update = honest_update(seed=1)
+        poisoned = poison_update(update, AttackConfig(kind="signflip", scale=5.0),
+                                 np.random.default_rng(0))
+        assert np.allclose(poisoned.embedding_delta, -5.0 * update.embedding_delta)
+        assert np.allclose(
+            poisoned.head_deltas["s"]["w"], -5.0 * update.head_deltas["s"]["w"]
+        )
+
+    def test_noise_replaces_payload(self):
+        update = honest_update(seed=2)
+        poisoned = poison_update(update, AttackConfig(kind="noise", scale=10.0),
+                                 np.random.default_rng(0))
+        # Noise is dense — untouched rows are no longer zero.
+        assert np.count_nonzero(poisoned.embedding_delta) > np.count_nonzero(
+            update.embedding_delta
+        )
+
+    def test_promote_boosts_target_row(self):
+        update = honest_update(seed=3, touched=(1, 2, 3))
+        config = AttackConfig(kind="promote", target_item=7, scale=10.0)
+        poisoned = poison_update(update, config, np.random.default_rng(0))
+        target_norm = np.linalg.norm(poisoned.embedding_delta[7])
+        honest_norms = np.linalg.norm(update.embedding_delta[[1, 2, 3]], axis=1)
+        # The crafted row is exactly scale × the typical honest row norm.
+        assert np.isclose(target_norm, 10.0 * honest_norms.mean())
+        assert target_norm > honest_norms.max()
+
+    def test_promote_preserves_metadata(self):
+        update = honest_update(user_id=42, group="m", seed=4)
+        poisoned = poison_update(
+            update, AttackConfig(kind="promote", target_item=0),
+            np.random.default_rng(0),
+        )
+        assert poisoned.user_id == 42 and poisoned.group == "m"
+        assert poisoned.embedding_delta.shape == update.embedding_delta.shape
+
+    def test_promote_with_empty_support_still_works(self):
+        update = ClientUpdate(
+            user_id=0, group="s", embedding_delta=np.zeros((5, 2)), head_deltas={}
+        )
+        poisoned = poison_update(
+            update, AttackConfig(kind="promote", target_item=3),
+            np.random.default_rng(0),
+        )
+        assert np.linalg.norm(poisoned.embedding_delta[3]) > 0
+
+
+class TestServerClip:
+    def test_outlier_norm_bounded(self):
+        honest = [honest_update(user_id=i, seed=i) for i in range(5)]
+        attacker = honest_update(user_id=99, seed=99).scaled(1000.0)
+        everyone = honest + [attacker]
+        clipped = server_clip_updates(everyone, headroom=3.0)
+        norms = [np.linalg.norm(u.embedding_delta) for u in clipped]
+        # The bound is headroom × the median over the *round* (attacker included).
+        bound = np.median([np.linalg.norm(u.embedding_delta) for u in everyone]) * 3.0
+        assert max(norms) <= bound * 1.01
+        # The attacker's 1000× amplification is gone.
+        attacker_norm = np.linalg.norm(clipped[-1].embedding_delta)
+        assert attacker_norm < 0.01 * np.linalg.norm(attacker.embedding_delta)
+
+    def test_honest_updates_untouched(self):
+        honest = [honest_update(user_id=i, seed=i) for i in range(5)]
+        clipped = server_clip_updates(honest, headroom=3.0)
+        for before, after in zip(honest, clipped):
+            assert after is before
+
+    def test_empty_round(self):
+        assert server_clip_updates([]) == []
+
+
+class TestRobustEmbeddingAggregate:
+    def test_honest_only_close_to_plain_sum(self):
+        """With identical honest updates, median·count equals the sum."""
+        updates = [honest_update(user_id=i, seed=7) for i in range(5)]
+        robust = robust_embedding_aggregate(updates, DIMS, kind="median")
+        plain = padded_embedding_aggregate(updates, DIMS, mode="sum")
+        assert np.allclose(robust["l"], plain["l"])
+
+    def test_median_resists_minority_outlier(self):
+        honest = [honest_update(user_id=i, seed=7) for i in range(4)]
+        attacker = honest_update(user_id=9, seed=7).scaled(-100.0)
+        robust = robust_embedding_aggregate(honest + [attacker], DIMS, kind="median")
+        clean = padded_embedding_aggregate(honest, DIMS, mode="sum")
+        # Median of 5 values with 1 outlier is an honest value; scaled by 5
+        # contributors instead of 4, so compare directions not magnitudes.
+        honest_dir = clean["s"][0] / np.linalg.norm(clean["s"][0])
+        robust_dir = robust["s"][0] / np.linalg.norm(robust["s"][0])
+        assert np.dot(honest_dir, robust_dir) > 0.99
+
+    def test_trimmed_mean_resists_outliers_both_tails(self):
+        honest = [honest_update(user_id=i, seed=7) for i in range(6)]
+        low = honest_update(user_id=90, seed=7).scaled(-50.0)
+        high = honest_update(user_id=91, seed=7).scaled(50.0)
+        robust = robust_embedding_aggregate(
+            honest + [low, high], DIMS, kind="trimmed_mean", trim_fraction=0.2
+        )
+        clean = padded_embedding_aggregate(honest, DIMS, mode="sum")
+        honest_dir = clean["s"][0] / np.linalg.norm(clean["s"][0])
+        robust_dir = robust["s"][0] / np.linalg.norm(robust["s"][0])
+        assert np.dot(honest_dir, robust_dir) > 0.99
+
+    def test_untouched_rows_stay_zero(self):
+        updates = [honest_update(user_id=i, seed=i, touched=(0, 1)) for i in range(3)]
+        robust = robust_embedding_aggregate(updates, DIMS, kind="median")
+        assert np.allclose(robust["l"][5:], 0.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            robust_embedding_aggregate([honest_update()], DIMS, kind="mode")
+
+    def test_empty_round(self):
+        assert robust_embedding_aggregate([], DIMS) == {}
+
+
+class TestKrum:
+    def test_outlier_dropped(self):
+        honest = [honest_update(user_id=i, seed=7, touched=(0, 1, 2)) for i in range(6)]
+        # A noise attacker is geometrically far from the honest cluster.
+        attacker = poison_update(
+            honest_update(user_id=99, seed=99, touched=(0, 1, 2)),
+            AttackConfig(kind="noise", scale=50.0),
+            np.random.default_rng(3),
+        )
+        survivors = krum_select(honest + [attacker], DIMS, keep_fraction=0.7)
+        assert all(u.user_id != 99 for u in survivors)
+
+    def test_keep_fraction_respected(self):
+        updates = [honest_update(user_id=i, seed=i) for i in range(10)]
+        survivors = krum_select(updates, DIMS, keep_fraction=0.5)
+        assert len(survivors) == 5
+
+    def test_tiny_rounds_pass_through(self):
+        updates = [honest_update(user_id=i) for i in range(2)]
+        assert krum_select(updates, DIMS) == updates
+
+    @given(keep=st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_survivors_are_subset_in_order(self, keep):
+        updates = [honest_update(user_id=i, seed=i) for i in range(8)]
+        survivors = krum_select(updates, DIMS, keep_fraction=keep)
+        ids = [u.user_id for u in survivors]
+        assert ids == sorted(ids)
+        assert set(ids) <= set(range(8))
+
+
+class TestDefenseConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RobustAggregationConfig(kind="firewall")
+        with pytest.raises(ValueError):
+            RobustAggregationConfig(trim_fraction=0.5)
+        with pytest.raises(ValueError):
+            RobustAggregationConfig(krum_keep=0.0)
+        with pytest.raises(ValueError):
+            RobustAggregationConfig(clip_headroom=-1)
+
+
+class TestAdversarialHarness:
+    def _config(self, **overrides):
+        defaults = dict(epochs=1, clients_per_round=16, local_epochs=2, seed=3)
+        defaults.update(overrides)
+        return HeteFedRecConfig(**defaults)
+
+    def test_clean_run_matches_hetefedrec(self, tiny_dataset, tiny_clients):
+        from repro.core.hetefedrec import HeteFedRec
+
+        clean = HeteFedRec(tiny_dataset.num_items, tiny_clients, self._config())
+        adversarial = AdversarialHeteFedRec(
+            tiny_dataset.num_items, tiny_clients, self._config(), attack=None
+        )
+        clean.fit()
+        adversarial.fit()
+        for group in clean.groups:
+            assert np.allclose(
+                clean.models[group].item_embedding.weight.data,
+                adversarial.models[group].item_embedding.weight.data,
+            )
+
+    def test_attack_degrades_training(self, tiny_dataset, tiny_clients):
+        attacked = AdversarialHeteFedRec(
+            tiny_dataset.num_items,
+            tiny_clients,
+            self._config(),
+            attack=AttackConfig(kind="signflip", fraction=0.3, scale=20.0),
+        )
+        attacked.fit()
+        # The attack must have registered some malicious population.
+        assert len(attacked.malicious) == round(len(tiny_clients) * 0.3)
+        summary = attacked.summary()
+        assert summary["attack"] == "signflip" and summary["defense"] == "none"
+
+    def test_clip_defense_bounds_damage(self, tiny_dataset, tiny_clients):
+        """Under a scale attack, clipping must keep the model closer to the
+        clean one than no defence does."""
+        from repro.core.hetefedrec import HeteFedRec
+
+        clean = HeteFedRec(tiny_dataset.num_items, tiny_clients, self._config())
+        clean.fit()
+        attack = AttackConfig(kind="signflip", fraction=0.2, scale=50.0, seed=1)
+        undefended = AdversarialHeteFedRec(
+            tiny_dataset.num_items, tiny_clients, self._config(), attack=attack
+        )
+        defended = AdversarialHeteFedRec(
+            tiny_dataset.num_items,
+            tiny_clients,
+            self._config(),
+            attack=attack,
+            defense=RobustAggregationConfig(kind="clip", clip_headroom=2.0),
+        )
+        undefended.fit()
+        defended.fit()
+        reference = clean.models["l"].item_embedding.weight.data
+
+        def distance(trainer):
+            return float(
+                np.linalg.norm(
+                    trainer.models["l"].item_embedding.weight.data - reference
+                )
+            )
+
+        assert distance(defended) < distance(undefended)
+
+    def test_defense_with_secure_aggregation_rejected(self, tiny_dataset, tiny_clients):
+        from repro.federated.secure_agg import SecureAggregationConfig
+
+        with pytest.raises(ValueError):
+            AdversarialHeteFedRec(
+                tiny_dataset.num_items,
+                tiny_clients,
+                self._config(secure_aggregation=SecureAggregationConfig()),
+                attack=AttackConfig(),
+                defense=RobustAggregationConfig(kind="median"),
+            )
+
+    def test_honest_clients_listed(self, tiny_dataset, tiny_clients):
+        trainer = AdversarialHeteFedRec(
+            tiny_dataset.num_items,
+            tiny_clients,
+            self._config(),
+            attack=AttackConfig(fraction=0.25, seed=2),
+        )
+        honest = set(trainer.honest_clients())
+        assert honest.isdisjoint(trainer.malicious)
+        assert len(honest) + len(trainer.malicious) == len(tiny_clients)
+
+
+class TestAttackMetrics:
+    def test_exposure_counts_topk_presence(self, handmade_dataset):
+        from repro.data.splitting import train_test_split_per_user
+
+        clients = train_test_split_per_user(handmade_dataset, seed=0)
+
+        def always_item_3_first(client):
+            scores = np.zeros(handmade_dataset.num_items)
+            scores[3] = 10.0
+            return scores
+
+        rate = exposure_at_k(always_item_3_first, clients, target_item=3, k=1)
+        # Users who already know item 3 are excluded; everyone else exposed.
+        assert 0.0 < rate <= 1.0
+
+    def test_exposure_zero_when_item_never_ranked(self, handmade_dataset):
+        from repro.data.splitting import train_test_split_per_user
+
+        clients = train_test_split_per_user(handmade_dataset, seed=0)
+
+        def item_3_last(client):
+            scores = np.ones(handmade_dataset.num_items)
+            scores[3] = -10.0
+            return scores
+
+        assert exposure_at_k(item_3_last, clients, target_item=3, k=1) == 0.0
+
+    def test_prediction_shift(self, handmade_dataset):
+        from repro.data.splitting import train_test_split_per_user
+
+        clients = train_test_split_per_user(handmade_dataset, seed=0)
+        clean = lambda client: np.zeros(handmade_dataset.num_items)
+        attacked = lambda client: np.full(handmade_dataset.num_items, 2.0)
+        assert prediction_shift(clean, attacked, clients, target_item=0) == 2.0
+
+    def test_prediction_shift_empty_clients(self):
+        assert prediction_shift(lambda c: None, lambda c: None, [], 0) == 0.0

@@ -1,0 +1,154 @@
+"""Integration tests: secure aggregation, compression and server optimisers
+plugged into the full federated trainers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.clustered import ClusteredTrainer
+from repro.compression.codecs import CompressionConfig
+from repro.core.config import HeteFedRecConfig
+from repro.core.hetefedrec import HeteFedRec
+from repro.federated.secure_agg import SecureAggregationConfig
+from repro.federated.server_optim import ServerOptimizerConfig
+from repro.federated.trainer import FederatedConfig, FederatedTrainer
+
+
+def hete_config(**overrides):
+    defaults = dict(epochs=1, clients_per_round=16, seed=3, local_epochs=2)
+    defaults.update(overrides)
+    return HeteFedRecConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def small_world(tiny_dataset, tiny_clients):
+    return tiny_dataset.num_items, tiny_clients
+
+
+class TestSecureAggregationIntegration:
+    def test_training_matches_plaintext(self, small_world):
+        """Secure and plaintext aggregation must produce (near-)identical
+        global models — the protocol only hides, never changes, the sum."""
+        num_items, clients = small_world
+        plain = HeteFedRec(num_items, clients, hete_config())
+        secure = HeteFedRec(
+            num_items,
+            clients,
+            hete_config(secure_aggregation=SecureAggregationConfig(seed=9)),
+        )
+        plain.fit()
+        secure.fit()
+        for group in plain.groups:
+            a = plain.models[group].item_embedding.weight.data
+            b = secure.models[group].item_embedding.weight.data
+            assert np.allclose(a, b, atol=1e-3), f"group {group} diverged"
+
+    def test_rejected_for_custom_aggregation(self, small_world):
+        num_items, clients = small_world
+        with pytest.raises(ValueError):
+            ClusteredTrainer(
+                num_items,
+                clients,
+                FederatedConfig(
+                    epochs=1, secure_aggregation=SecureAggregationConfig()
+                ),
+            )
+
+
+class TestCompressionIntegration:
+    def test_upload_volume_shrinks(self, small_world):
+        num_items, clients = small_world
+        dense = HeteFedRec(num_items, clients, hete_config())
+        compressed = HeteFedRec(
+            num_items,
+            clients,
+            hete_config(compression=CompressionConfig(kind="topk", ratio=0.1)),
+        )
+        dense.fit()
+        compressed.fit()
+        assert compressed.meter.total_upload < 0.5 * dense.meter.total_upload
+        # Downloads are unchanged: the server still ships dense models.
+        assert compressed.meter.total_download == dense.meter.total_download
+
+    def test_quantized_training_still_learns(self, small_world):
+        num_items, clients = small_world
+        trainer = HeteFedRec(
+            num_items,
+            clients,
+            hete_config(compression=CompressionConfig(kind="quantize", bits=8)),
+        )
+        history = trainer.fit()
+        assert np.isfinite(history.records[-1].train_loss)
+
+    def test_none_compression_is_noop(self, small_world):
+        num_items, clients = small_world
+        trainer = HeteFedRec(
+            num_items, clients, hete_config(compression=CompressionConfig(kind="none"))
+        )
+        assert trainer._compressor is None
+
+
+class TestServerOptimizerIntegration:
+    @pytest.mark.parametrize("kind", ["fedavgm", "fedadam", "fedyogi"])
+    def test_nesting_invariant_survives(self, small_world, kind):
+        """RESKD off, the Eq. 10 invariant must hold under any server rule."""
+        num_items, clients = small_world
+        trainer = HeteFedRec(
+            num_items,
+            clients,
+            hete_config(
+                enable_reskd=False,
+                server_optimizer=ServerOptimizerConfig(kind=kind, lr=0.05),
+            ),
+        )
+        trainer.fit()
+        v_s = trainer.models["s"].item_embedding.weight.data
+        v_m = trainer.models["m"].item_embedding.weight.data
+        v_l = trainer.models["l"].item_embedding.weight.data
+        assert np.allclose(v_s, v_m[:, : v_s.shape[1]])
+        assert np.allclose(v_m, v_l[:, : v_m.shape[1]])
+
+    def test_sgd_unit_lr_matches_default_path(self, small_world):
+        num_items, clients = small_world
+        default = HeteFedRec(num_items, clients, hete_config())
+        explicit = HeteFedRec(
+            num_items,
+            clients,
+            hete_config(server_optimizer=ServerOptimizerConfig(kind="sgd", lr=1.0)),
+        )
+        default.fit()
+        explicit.fit()
+        for group in default.groups:
+            assert np.allclose(
+                default.models[group].item_embedding.weight.data,
+                explicit.models[group].item_embedding.weight.data,
+            )
+
+
+class TestFeatureComposition:
+    def test_compression_plus_secure_aggregation(self, small_world):
+        """The two compose: compression shrinks what the masking protects."""
+        num_items, clients = small_world
+        trainer = HeteFedRec(
+            num_items,
+            clients,
+            hete_config(
+                compression=CompressionConfig(kind="quantize", bits=8),
+                secure_aggregation=SecureAggregationConfig(),
+            ),
+        )
+        history = trainer.fit()
+        assert np.isfinite(history.records[-1].train_loss)
+
+    def test_all_three_together(self, small_world):
+        num_items, clients = small_world
+        trainer = HeteFedRec(
+            num_items,
+            clients,
+            hete_config(
+                compression=CompressionConfig(kind="topk", ratio=0.25),
+                secure_aggregation=SecureAggregationConfig(),
+                server_optimizer=ServerOptimizerConfig(kind="fedavgm", momentum=0.5),
+            ),
+        )
+        history = trainer.fit()
+        assert np.isfinite(history.records[-1].train_loss)
