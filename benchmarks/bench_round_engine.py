@@ -1,0 +1,188 @@
+"""Benchmark: per-client reference rounds vs. the vectorized round engine.
+
+Times one full local-training + aggregation cycle of a 256-client round
+(paper protocol: ncf, dims {8, 16, 32}, 4 local epochs) under both
+execution modes, plus per-client vs. blocked full-ranking evaluation, and
+writes the results to ``BENCH_round_engine.json``:
+
+    PYTHONPATH=src python benchmarks/bench_round_engine.py
+
+The CI hook is ``benchmarks/test_bench_round_engine.py`` (marked
+``slow``, excluded from tier-1 by ``pytest.ini``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.core.grouping import divide_clients
+from repro.data.splitting import train_test_split_per_user
+from repro.data.synthetic import DATASET_SPECS, SyntheticConfig, load_benchmark_dataset
+from repro.eval.evaluator import Evaluator
+from repro.federated.trainer import FederatedConfig, FederatedTrainer
+
+
+def build_problem(num_clients: int, num_items: int, seed: int = 7):
+    """A synthetic split with at least ``num_clients`` users."""
+    spec = DATASET_SPECS["ml"]
+    config = SyntheticConfig(
+        scale=num_clients * 1.05 / spec.paper_users,
+        item_scale=num_items / spec.paper_items,
+        seed=seed,
+    )
+    dataset = load_benchmark_dataset("ml", config)
+    clients = train_test_split_per_user(dataset, seed=seed)
+    return dataset, clients
+
+
+def count_tape_nodes(fn) -> int:
+    """Number of Tensor constructions (graph nodes) while running ``fn``."""
+    counter = {"n": 0}
+    original_init = Tensor.__init__
+
+    def counting_init(self, *args, **kwargs):
+        counter["n"] += 1
+        original_init(self, *args, **kwargs)
+
+    Tensor.__init__ = counting_init
+    try:
+        fn()
+    finally:
+        Tensor.__init__ = original_init
+    return counter["n"]
+
+
+def time_round(trainer: FederatedTrainer, users) -> Dict[str, float]:
+    """One warm-up-free measurement of train-all-clients + aggregate."""
+    start = time.perf_counter()
+    updates = trainer._train_clients(users)
+    train_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    trainer.apply_updates(updates)
+    aggregate_seconds = time.perf_counter() - start
+    total = train_seconds + aggregate_seconds
+    return {
+        "train_seconds": train_seconds,
+        "aggregate_seconds": aggregate_seconds,
+        "round_seconds": total,
+        "rounds_per_sec": 1.0 / total,
+    }
+
+
+def run_benchmark(
+    num_clients: int = 256,
+    num_items: int = 3706,  # the paper's ml catalogue size
+    local_epochs: int = 4,
+    arch: str = "ncf",
+    seed: int = 7,
+) -> Dict:
+    dataset, clients = build_problem(num_clients, num_items, seed=seed)
+    group_of = divide_clients(clients)
+    users_per_round = [c.user_id for c in clients][:num_clients]
+
+    results: Dict[str, Dict] = {}
+    trainers: Dict[str, FederatedTrainer] = {}
+    for engine in ("reference", "vectorized"):
+        config = FederatedConfig(
+            arch=arch,
+            dims={"s": 8, "m": 16, "l": 32},
+            epochs=1,
+            clients_per_round=num_clients,
+            local_epochs=local_epochs,
+            lr=0.01,
+            seed=0,
+            engine=engine,
+        )
+        trainer = FederatedTrainer(dataset.num_items, clients, group_of, config)
+        trainers[engine] = trainer
+        # Tape-node census on a fresh trainer state, then the timed round.
+        probe = FederatedTrainer(dataset.num_items, clients, group_of, config)
+        nodes = count_tape_nodes(lambda: probe._train_clients(users_per_round))
+        results[engine] = time_round(trainer, users_per_round)
+        results[engine]["tape_nodes_per_round"] = nodes
+
+    # Evaluation: per-client full ranking vs blocked.
+    evaluator = Evaluator(clients, k=20)
+    trainer = trainers["vectorized"]
+    start = time.perf_counter()
+    per_client = evaluator.evaluate(trainer.score_all_items)
+    eval_reference_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    blocked = evaluator.evaluate_blocked(trainer.score_item_matrix)
+    eval_blocked_seconds = time.perf_counter() - start
+
+    equivalence = {
+        "max_abs_item_table_delta": max(
+            float(
+                np.abs(
+                    trainers["reference"].models[g].item_embedding.weight.data
+                    - trainers["vectorized"].models[g].item_embedding.weight.data
+                ).max()
+            )
+            for g in trainers["reference"].groups
+        ),
+        "recall_per_client": per_client.recall,
+        "recall_blocked": blocked.recall,
+        "ndcg_per_client": per_client.ndcg,
+        "ndcg_blocked": blocked.ndcg,
+    }
+
+    return {
+        "benchmark": "round_engine",
+        "config": {
+            "arch": arch,
+            "dims": {"s": 8, "m": 16, "l": 32},
+            "clients_per_round": num_clients,
+            "local_epochs": local_epochs,
+            "num_items": dataset.num_items,
+            "num_users": dataset.num_users,
+            "seed": seed,
+        },
+        "reference": results["reference"],
+        "vectorized": results["vectorized"],
+        "speedup": results["reference"]["round_seconds"]
+        / results["vectorized"]["round_seconds"],
+        "tape_node_reduction": results["reference"]["tape_nodes_per_round"]
+        / max(results["vectorized"]["tape_nodes_per_round"], 1),
+        "evaluation": {
+            "per_client_seconds": eval_reference_seconds,
+            "blocked_seconds": eval_blocked_seconds,
+            "speedup": eval_reference_seconds / eval_blocked_seconds,
+        },
+        "equivalence": equivalence,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=256)
+    parser.add_argument("--items", type=int, default=3706)
+    parser.add_argument("--local-epochs", type=int, default=4)
+    parser.add_argument("--arch", default="ncf", choices=["ncf", "mf"])
+    parser.add_argument("--out", default="BENCH_round_engine.json")
+    args = parser.parse_args()
+
+    report = run_benchmark(
+        num_clients=args.clients,
+        num_items=args.items,
+        local_epochs=args.local_epochs,
+        arch=args.arch,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        f"round: {report['reference']['round_seconds']:.2f}s → "
+        f"{report['vectorized']['round_seconds']:.2f}s "
+        f"({report['speedup']:.1f}x); tape nodes ÷{report['tape_node_reduction']:.0f}; "
+        f"eval {report['evaluation']['speedup']:.1f}x; wrote {args.out}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""CI hook for the round-engine benchmark (``-m slow`` only).
+
+Runs a scaled-down version of ``bench_round_engine.py`` and asserts the
+vectorized engine actually wins.  Excluded from tier-1 by the ``slow``
+marker (see ``pytest.ini``); select it explicitly:
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_round_engine.py -m slow
+"""
+
+import pytest
+
+from benchmarks.bench_round_engine import run_benchmark
+
+
+@pytest.mark.slow
+def test_vectorized_round_is_faster_and_equivalent():
+    report = run_benchmark(num_clients=64, num_items=200, local_epochs=2)
+    assert report["speedup"] > 1.0
+    assert report["tape_node_reduction"] >= 5.0
+    assert report["equivalence"]["max_abs_item_table_delta"] < 1e-8
+    assert report["equivalence"]["ndcg_blocked"] == pytest.approx(
+        report["equivalence"]["ndcg_per_client"], abs=1e-8
+    )

@@ -62,4 +62,4 @@ def quick_run(
     trainer = build_method(method, data.num_items, clients, config)
     evaluator = Evaluator(clients)
     trainer.fit()
-    return evaluator.evaluate(trainer.score_all_items)
+    return trainer.evaluate_with(evaluator)

@@ -72,6 +72,39 @@ def gather(weight: Tensor, indices: Union[np.ndarray, Sequence[int]]) -> Tensor:
     )
 
 
+def batched_gather(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Per-batch row selection ``out[b, l] = weight[b, indices[b, l]]``.
+
+    The batched counterpart of :func:`gather` used by the vectorized round
+    engine: ``weight`` stacks one embedding table per client ``(B, S, d)``
+    and ``indices`` holds each client's item batch ``(B, L)``.  The
+    backward pass scatter-adds into the touched ``(b, row)`` pairs with
+    ``np.add.at`` so duplicate items within a batch accumulate, exactly as
+    the per-client ``gather`` does.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if weight.data.ndim != 3 or indices.ndim != 2:
+        raise ValueError(
+            f"batched_gather expects (B, S, d) weights and (B, L) indices, "
+            f"got {weight.data.shape} and {indices.shape}"
+        )
+    batch_arange = np.arange(weight.data.shape[0])[:, None]
+    out_data = weight.data[batch_arange, indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            full = np.zeros_like(weight.data)
+            np.add.at(full, (batch_arange, indices), grad)
+            weight._accumulate(full)
+
+    return Tensor(
+        out_data,
+        requires_grad=weight.requires_grad,
+        parents=(weight,),
+        backward=backward,
+    )
+
+
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Differentiable selection; ``condition`` is a constant boolean mask."""
     a = Tensor._lift(a)
@@ -112,7 +145,7 @@ def bce_with_logits(logits: Tensor, targets: ArrayLike, reduction: str = "mean")
     Equivalent to ``-(r log σ(z) + (1-r) log(1-σ(z)))`` but computed in a
     numerically stable fused form: ``max(z,0) - z*r + log(1+exp(-|z|))``.
     """
-    targets = np.asarray(targets, dtype=np.float64)
+    targets = np.asarray(targets, dtype=logits.data.dtype)
     z = logits.data
     out_data = np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z)))
     sig = 1.0 / (1.0 + np.exp(-np.clip(z, -500, 500)))

@@ -67,11 +67,28 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: ArrayLike) -> np.ndarray:
+#: Floating dtypes the tape accepts as-is.  Everything else (ints, bools,
+#: float16, ...) is promoted to the default dtype on entry.
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _as_array(value: ArrayLike, dtype: Optional[np.dtype] = None) -> np.ndarray:
+    """Coerce ``value`` to a float array.
+
+    float64 stays the default, but float32 arrays are passed through
+    unchanged so sweeps can opt into single precision end to end (see
+    ``FederatedConfig.dtype``); numpy's promotion rules then keep mixed
+    expressions in float64, which is the conservative direction.
+    """
+    if dtype is not None:
+        dtype = np.dtype(dtype)
+        if dtype not in _SUPPORTED_DTYPES:
+            raise TypeError(f"unsupported tensor dtype {dtype}")
+        return np.asarray(value, dtype=dtype)
     if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
-        return value
+        if value.dtype in _SUPPORTED_DTYPES:
+            return value
+        return value.astype(np.float64)
     return np.asarray(value, dtype=np.float64)
 
 
@@ -89,8 +106,9 @@ class Tensor:
         parents: Sequence["Tensor"] = (),
         backward: Optional[Callable[[np.ndarray], None]] = None,
         name: str = "",
+        dtype: Optional[np.dtype] = None,
     ) -> None:
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype=dtype)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents: Tuple[Tensor, ...] = tuple(parents) if self.requires_grad else ()
@@ -156,8 +174,14 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            # First contribution: own a copy (the incoming array may be a
+            # view or shared buffer) instead of zeros + add — one pass
+            # fewer over what can be the graph's largest arrays.
+            self.grad = np.array(
+                np.broadcast_to(grad, self.data.shape), dtype=self.data.dtype
+            )
+        else:
+            self.grad += grad
 
     # ------------------------------------------------------------------
     # Backward pass

@@ -74,7 +74,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"({args.arch}) on {dataset.name}: "
           f"{dataset.num_users} users, {dataset.num_items} items")
     trainer.fit()
-    result = evaluator.evaluate(trainer.score_all_items)
+    result = trainer.evaluate_with(evaluator)
     print(result)
     comm = trainer.meter.per_client_round()
     print(f"communication: {comm:,.0f} scalars per client-round")

@@ -60,6 +60,20 @@ class HeteFedRec(FederatedTrainer):
             return widths_up_to(group, self.config.dims)
         return [group]
 
+    def local_training_is_base(self) -> bool:
+        """With UDL off and DDR inert, the overrides below reduce exactly
+        to the base protocol (the Directly Aggregate configuration), so
+        the vectorized round engine applies; RESKD is server-side and
+        never affects eligibility."""
+        cls = type(self)
+        if (
+            cls.client_loss is not HeteFedRec.client_loss
+            or cls.trained_head_groups is not HeteFedRec.trained_head_groups
+        ):
+            return False
+        cfg = self.config
+        return not cfg.enable_udl and not (cfg.enable_ddr and cfg.alpha > 0)
+
     def client_loss(
         self, runtime: ClientRuntime, user_param: Parameter, batch: TrainingBatch
     ) -> Tensor:

@@ -14,9 +14,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.data.dataset import ClientData
-from repro.eval.metrics import ndcg_at_k, rank_items, recall_at_k
+from repro.eval.metrics import blocked_top_k, ndcg_at_k, rank_items, recall_at_k
 
 ScoreFn = Callable[[ClientData], np.ndarray]
+#: Batched scoring hook: a block of clients → a (B, num_items) score matrix.
+ScoreBlockFn = Callable[[Sequence[ClientData]], np.ndarray]
 
 
 @dataclass
@@ -84,3 +86,96 @@ class Evaluator:
             per_user_ndcg=np.asarray(ndcgs),
             evaluated_users=np.asarray(users, dtype=int),
         )
+
+    # ------------------------------------------------------------------
+    # Blocked fast path
+    # ------------------------------------------------------------------
+    def evaluate_blocked(
+        self,
+        score_block_fn: ScoreBlockFn,
+        user_subset: Optional[Sequence[int]] = None,
+        block_size: int = 256,
+    ) -> EvaluationResult:
+        """Full-ranking evaluation over blocks of users at once.
+
+        ``score_block_fn`` maps a list of clients to one (B, num_items)
+        score matrix (e.g. :meth:`FederatedTrainer.score_item_matrix`);
+        exclusion masking, top-k extraction and both metrics then run as
+        block-level array operations.  Produces the same numbers as
+        :meth:`evaluate` driven by the per-client scoring hook, up to
+        floating-point summation order.
+        """
+        subset = (
+            set(int(u) for u in user_subset) if user_subset is not None else None
+        )
+        eligible = [
+            client
+            for client in self.clients
+            if (subset is None or client.user_id in subset)
+            and client.test_items.size > 0
+        ]
+        if not eligible:
+            empty = np.empty(0)
+            return EvaluationResult(0.0, 0.0, self.k, empty, empty, np.empty(0, dtype=int))
+
+        discounts = 1.0 / np.log2(np.arange(self.k) + 2.0)
+        ideal_cum = np.cumsum(discounts)
+        recalls: List[np.ndarray] = []
+        ndcgs: List[np.ndarray] = []
+        for start in range(0, len(eligible), max(block_size, 1)):
+            block = eligible[start : start + max(block_size, 1)]
+            scores = np.array(score_block_fn(block), dtype=np.float64, copy=True)
+            if scores.shape[0] != len(block):
+                raise ValueError(
+                    f"score block has {scores.shape[0]} rows for {len(block)} clients"
+                )
+            block_recall, block_ndcg = self._block_metrics(
+                block, scores, discounts, ideal_cum
+            )
+            recalls.append(block_recall)
+            ndcgs.append(block_ndcg)
+
+        per_user_recall = np.concatenate(recalls)
+        per_user_ndcg = np.concatenate(ndcgs)
+        return EvaluationResult(
+            recall=float(np.mean(per_user_recall)),
+            ndcg=float(np.mean(per_user_ndcg)),
+            k=self.k,
+            per_user_recall=per_user_recall,
+            per_user_ndcg=per_user_ndcg,
+            evaluated_users=np.asarray([c.user_id for c in eligible], dtype=int),
+        )
+
+    def _block_metrics(
+        self,
+        block: Sequence[ClientData],
+        scores: np.ndarray,
+        discounts: np.ndarray,
+        ideal_cum: np.ndarray,
+    ) -> tuple:
+        """Recall@k / NDCG@k for one scored block, fully vectorized."""
+        num_users = scores.shape[0]
+        rows = np.arange(num_users)
+
+        # Vectorized exclusion masking: one fancy assignment for the block.
+        known_lengths = np.array([c.known_items().size for c in block])
+        if known_lengths.sum() > 0:
+            mask_rows = np.repeat(rows, known_lengths)
+            mask_cols = np.concatenate(
+                [np.asarray(c.known_items(), dtype=np.int64) for c in block]
+            )
+            scores[mask_rows, mask_cols] = -np.inf
+
+        top = blocked_top_k(scores, self.k)
+
+        # Membership is only ever probed at the (B, k) top indices, so an
+        # isin per row beats scattering a dense (B, num_items) indicator.
+        test_lengths = np.array([np.unique(c.test_items).size for c in block])
+        hits = np.zeros(top.shape, dtype=bool)
+        for row, client in enumerate(block):
+            hits[row] = np.isin(top[row], client.test_items)
+
+        recall = hits.sum(axis=1) / test_lengths
+        dcg = (hits * discounts[: top.shape[1]]).sum(axis=1)
+        idcg = ideal_cum[np.minimum(test_lengths, self.k) - 1]
+        return recall, dcg / idcg

@@ -20,17 +20,81 @@ def rank_items(
 ) -> np.ndarray:
     """Item ids sorted by descending score, with ``exclude`` masked out.
 
-    ``k`` truncates the returned ranking (taking it slightly beyond K via a
-    partial sort would be an optimisation; catalogue sizes here are small
-    enough that a full argsort is clearer and cheap).
+    With ``k`` set, only the top-k slice is materialised via
+    :func:`partial_top_k` — an O(n) ``np.argpartition`` pass plus an
+    O(k log k) sort of the slice — instead of a full O(n log n) argsort.
+    Both paths order ties identically (descending score, ascending id).
     """
     scores = np.asarray(scores, dtype=np.float64).copy()
     if exclude is not None and len(exclude):
         scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
-    order = np.argsort(-scores, kind="stable")
-    if k is not None:
-        order = order[:k]
-    return order
+    if k is None or k >= scores.size:
+        return np.argsort(-scores, kind="stable")
+    return partial_top_k(scores, k)
+
+
+def partial_top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, ties broken by ascending index.
+
+    Exactly equivalent to ``np.argsort(-scores, kind="stable")[:k]``.  A
+    plain ``argpartition`` alone is not, because ties *at the k-boundary*
+    may be resolved against the wrong (higher) indices; the boundary value
+    is therefore handled explicitly: every index scoring strictly above the
+    k-th value is in, and the remaining slots are filled with the lowest
+    indices among those scoring exactly the k-th value.
+    """
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    if k >= scores.size or np.isnan(scores).any():
+        # NaNs break the boundary-value comparisons below (everything
+        # compares False against a NaN k-th value); the stable argsort
+        # ranks them last, preserving the historical behaviour.
+        return np.argsort(-scores, kind="stable")[:k]
+    kth_value = scores[np.argpartition(scores, scores.size - k)[scores.size - k]]
+    above = np.flatnonzero(scores > kth_value)
+    boundary = np.flatnonzero(scores == kth_value)[: k - above.size]
+    top = np.concatenate([above, boundary])
+    # Stable sort of the slice: ``flatnonzero`` yields ascending indices,
+    # so equal scores keep ascending-id order, matching the full argsort.
+    return top[np.argsort(-scores[top], kind="stable")]
+
+
+def blocked_top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`partial_top_k` over a (B, I) score block.
+
+    One batched ``np.argpartition`` plus a batched sort of the (B, k)
+    slice covers the common no-tie case; rows where ties could reorder the
+    result (duplicate values inside the top-k, or the k-th value recurring
+    beyond the boundary) are recomputed exactly, so every row equals
+    ``np.argsort(-row, kind="stable")[:k]``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected a (B, I) block, got shape {scores.shape}")
+    num_rows, num_cols = scores.shape
+    if k >= num_cols:
+        return np.argsort(-scores, axis=1, kind="stable")
+    candidates = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    values = np.take_along_axis(scores, candidates, axis=1)
+    order = np.argsort(-values, axis=1, kind="stable")
+    top = np.take_along_axis(candidates, order, axis=1)
+    top_values = np.take_along_axis(values, order, axis=1)
+
+    kth = top_values[:, -1]
+    tie_inside = (
+        (top_values[:, :-1] == top_values[:, 1:]).any(axis=1)
+        if k > 1
+        else np.zeros(num_rows, dtype=bool)
+    )
+    boundary_tie = (scores == kth[:, None]).sum(axis=1) > (
+        top_values == kth[:, None]
+    ).sum(axis=1)
+    # NaN rows defeat both tie tests (all comparisons False), so route
+    # them through the exact path as well.
+    nan_rows = np.isnan(scores).any(axis=1)
+    for row in np.flatnonzero(tie_inside | boundary_tie | nan_rows):
+        top[row] = partial_top_k(scores[row], k)
+    return top
 
 
 def recall_at_k(ranked: Sequence[int], relevant: Sequence[int], k: int = 20) -> float:

@@ -148,7 +148,7 @@ def run_method(
     evaluator = Evaluator(clients, k=config.eval_k)
 
     trainer.fit(evaluator)
-    final = evaluator.evaluate(trainer.score_all_items)
+    final = trainer.evaluate_with(evaluator)
 
     division = divide_clients(clients, getattr(config, "ratios", (5, 3, 2)))
     groups = per_group_metrics(final, division)

@@ -44,6 +44,7 @@ from repro.federated.secure_agg import (
 )
 from repro.federated.server_optim import ServerOptimizer, ServerOptimizerConfig
 from repro.federated.trainer import FederatedConfig, FederatedTrainer
+from repro.federated.round_engine import VectorizedRoundEngine, engine_supports
 from repro.federated.checkpoint import (
     load_checkpoint,
     load_inference_model,
@@ -79,6 +80,8 @@ __all__ = [
     "ServerOptimizerConfig",
     "FederatedConfig",
     "FederatedTrainer",
+    "VectorizedRoundEngine",
+    "engine_supports",
     "save_checkpoint",
     "load_checkpoint",
     "load_inference_model",

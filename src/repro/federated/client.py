@@ -28,12 +28,17 @@ class ClientRuntime:
         num_items: int,
         seed: int = 0,
         init_std: float = 0.01,
+        dtype: np.dtype = np.float64,
     ) -> None:
         self.data = data
         self.embedding_dim = embedding_dim
         self.rng = np.random.default_rng(seed * 1_000_003 + data.user_id)
         self.sampler = NegativeSampler(num_items, seed=seed * 7_919 + data.user_id)
-        self.user_embedding = self.rng.normal(0.0, init_std, size=embedding_dim)
+        # Drawn in float64 (keeps the RNG stream identical across dtypes),
+        # then cast to the session precision.
+        self.user_embedding = self.rng.normal(0.0, init_std, size=embedding_dim).astype(
+            dtype, copy=False
+        )
 
     @property
     def user_id(self) -> int:
@@ -64,7 +69,9 @@ class ClientRuntime:
         """
         if new_dim == self.embedding_dim:
             return
-        fresh = self.rng.normal(0.0, 0.01, size=new_dim)
+        fresh = self.rng.normal(0.0, 0.01, size=new_dim).astype(
+            self.user_embedding.dtype, copy=False
+        )
         keep = min(new_dim, self.embedding_dim)
         fresh[:keep] = self.user_embedding[:keep]
         self.user_embedding = fresh

@@ -1,0 +1,390 @@
+"""Vectorized round execution: train every client of a dim-group at once.
+
+The reference protocol (``FederatedTrainer.train_client``) runs each
+client's local session through its own small autodiff graph — correct,
+but a 256-client round then pays Python/tape overhead 256 times per local
+epoch.  Because every client in a round trains *from the same global
+snapshot* and the server only sees the resulting deltas, the sessions are
+mutually independent; this engine exploits that to run all of a
+dim-group's sessions as one fused batched graph per local epoch.
+
+Padding / mask scheme
+---------------------
+Clients of one group share an embedding width ``d`` but differ in batch
+length and in which item rows they touch, so both axes are padded:
+
+* **Item rows.**  Each client ``b`` only ever reads/writes the rows named
+  in its local batches.  The union of those rows, ``uniq_b``, is copied
+  out of the global table into a per-client working table; the stacked
+  working tables form ``W`` of shape ``(B, S, d)`` where ``S = max_b
+  |uniq_b|``.  Rows past ``|uniq_b|`` are zero padding that no index ever
+  references, so they receive zero gradient and never feed back.
+* **Batch positions.**  Per-epoch batches are right-padded to ``L = max_b
+  L_b`` with local index 0 and label 0; a weight matrix carrying
+  ``1/L_b`` on real positions and ``0`` on padding reproduces each
+  client's *own* BCE mean while zeroing every padded position's gradient.
+* **Private/user state.**  User embeddings stack into ``(B, d)``; the
+  group's head parameters are replicated per client into ``(B, ...)``
+  stacks, because each reference session trains its own head copy before
+  the server aggregates the deltas.
+
+One shared :class:`~repro.nn.optim.Adam` instance over the stacked
+parameters is *exactly* B independent per-client Adams: the update is
+elementwise and every client steps at the same local-epoch boundaries.
+Likewise the dense per-row moments of the stacked working tables evolve
+exactly as the touched rows of the reference's full-table moments (rows
+with zero gradient keep zero moments).  The engine is therefore
+numerically equivalent to the per-client reference path up to
+floating-point summation order; ``tests/test_round_engine.py`` pins this
+to 1e-8 over multi-epoch runs.
+
+The reference path remains the correctness oracle and the fallback for
+everything the fused graph does not model: LightGCN's per-user local
+graph, and subclasses that override the local-training hooks
+(``client_loss``, ``trained_head_groups``, ``train_client``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.data.sampling import TrainingBatch
+from repro.federated.payload import ClientUpdate, state_delta
+from repro.federated.privacy import protect_update
+from repro.nn.layers import Linear
+from repro.nn.module import Parameter
+from repro.nn.optim import Adam
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.federated.trainer import FederatedTrainer
+
+
+#: Architectures whose *training* graph the engine knows how to fuse
+#: (``_forward`` reproduces the ScoringHead MLP+GMF structure).  This is
+#: deliberately narrower than ``BaseRecommender.batched_scoring``, which
+#: only promises inference-time ``score_matrix`` support: a new
+#: architecture needs an engine forward of its own, not just scoring.
+#: LightGCN needs each client's local interaction graph inside the
+#: forward pass and stays per-client for both.
+BATCHABLE_ARCHS = ("ncf", "mf")
+
+
+def engine_supports(trainer: "FederatedTrainer") -> bool:
+    """Whether ``trainer`` can be driven by the vectorized engine.
+
+    True only when local training is the base protocol: plain BCE loss,
+    own-group head only, and the stock ``train_client`` body.  Subclasses
+    that override any of those hooks (HeteFedRec's dual-task loss,
+    Standalone's private models, ...) keep the reference path.
+    """
+    from repro.federated.trainer import FederatedTrainer
+
+    cls = type(trainer)
+    return (
+        trainer.config.arch in BATCHABLE_ARCHS
+        and cls.train_client is FederatedTrainer.train_client
+        and trainer.local_training_is_base()
+    )
+
+
+def _length_buckets(
+    lengths: np.ndarray,
+    dim: int,
+    waste: float = 1.35,
+    area_cap: int = 16_000_000,
+) -> List[np.ndarray]:
+    """Partition clients into padding-friendly buckets by batch length.
+
+    Within a bucket every batch is right-padded to the bucket maximum.
+    Walking clients in ascending length order, a bucket is closed when
+    admitting the next client would push the bucket's *padded* area
+    ``(B+1)·L_max`` beyond ``waste``× its real area ``Σ L_b`` — so padded
+    positions stay under ~35% while near-uniform rounds fuse into a
+    single graph — or when the padded activation area ``B·L·d`` would
+    pass ``area_cap`` elements (bounds peak memory for huge rounds).
+    Interaction counts are heavy-tailed, so without this the whole
+    group would pad to its one chattiest client.
+    """
+    order = np.argsort(lengths, kind="stable")
+    buckets: List[np.ndarray] = []
+    current: List[int] = []
+    real_area = 0
+    for position in order:
+        length = max(int(lengths[position]), 1)
+        padded_area = (len(current) + 1) * length
+        if current and (
+            padded_area > waste * (real_area + length)
+            or padded_area * dim > area_cap
+        ):
+            buckets.append(np.asarray(current, dtype=np.int64))
+            current = []
+            real_area = 0
+        current.append(int(position))
+        real_area += length
+    if current:
+        buckets.append(np.asarray(current, dtype=np.int64))
+    return buckets
+
+
+class VectorizedRoundEngine:
+    """Batched executor for one round's local-training phase."""
+
+    def __init__(self, trainer: "FederatedTrainer") -> None:
+        if not engine_supports(trainer):
+            raise ValueError(
+                f"{type(trainer).__name__} (arch={trainer.config.arch!r}) "
+                "is not supported by the vectorized round engine"
+            )
+        self.trainer = trainer
+
+    # ------------------------------------------------------------------
+    # Round execution
+    # ------------------------------------------------------------------
+    def train_round(self, user_ids: Sequence[int]) -> List[ClientUpdate]:
+        """Train every listed client and return updates in input order."""
+        trainer = self.trainer
+        cfg = trainer.config
+        by_group: Dict[str, List[int]] = {}
+        for user in user_ids:
+            by_group.setdefault(trainer.group_of[user], []).append(user)
+
+        raw: Dict[int, ClientUpdate] = {}
+        for group in trainer.groups:
+            members = by_group.get(group)
+            if members:
+                for update in self._train_group(group, members):
+                    raw[update.user_id] = update
+
+        # Client-side upload transforms run in the round's client order:
+        # the compressor may hold a shared codec RNG, so applying them in
+        # bucket order would diverge from the reference path.
+        updates: List[ClientUpdate] = []
+        for user in user_ids:
+            update = raw[user]
+            head_deltas = update.head_deltas
+            if cfg.privacy is not None and cfg.privacy.enabled:
+                update = protect_update(update, cfg.privacy, trainer.runtimes[user].rng)
+            if trainer._compressor is not None:
+                update = trainer._compressor.apply(update)
+            trainer._record_communication(update.group, head_deltas, update)
+            updates.append(update)
+        return updates
+
+    # ------------------------------------------------------------------
+    # One dim-group
+    # ------------------------------------------------------------------
+    def _train_group(self, group: str, users: List[int]) -> List[ClientUpdate]:
+        trainer = self.trainer
+        cfg = trainer.config
+        runtimes = [trainer.runtimes[user] for user in users]
+
+        # Pre-draw every local epoch's batch.  Each client's sampler and
+        # shuffle RNG are private, so drawing a client's epochs back to
+        # back consumes its streams in exactly the reference order.
+        epoch_batches: List[List[TrainingBatch]] = [
+            [runtime.sample_batch(cfg.negative_ratio) for _ in range(cfg.local_epochs)]
+            for runtime in runtimes
+        ]
+
+        # Interaction counts are heavy-tailed, so padding the whole group
+        # to its longest batch would drown the win in padded work; bucket
+        # clients by batch length and fuse each bucket separately.
+        lengths = np.array([len(batches[0]) if batches else 0 for batches in epoch_batches])
+        updates: List[ClientUpdate] = []
+        for bucket in _length_buckets(lengths, cfg.dims[group]):
+            updates.extend(
+                self._train_bucket(
+                    group,
+                    [users[i] for i in bucket],
+                    [runtimes[i] for i in bucket],
+                    [epoch_batches[i] for i in bucket],
+                )
+            )
+        return updates
+
+    def _train_bucket(
+        self,
+        group: str,
+        users: List[int],
+        runtimes,
+        epoch_batches: List[List[TrainingBatch]],
+    ) -> List[ClientUpdate]:
+        trainer = self.trainer
+        cfg = trainer.config
+        model = trainer.models[group]
+        num_clients = len(users)
+        dim = cfg.dims[group]
+        table = model.item_embedding.weight.data  # global V, read-only here
+        dtype = table.dtype
+
+        # Per-client local row sets and per-epoch local index arrays.
+        uniq_rows: List[np.ndarray] = []
+        local_idx: List[List[np.ndarray]] = []
+        for batches in epoch_batches:
+            items = np.concatenate([batch.items for batch in batches]) if batches else np.empty(0, np.int64)
+            uniq, inverse = np.unique(items, return_inverse=True)
+            if uniq.size == 0:
+                uniq = np.zeros(1, dtype=np.int64)
+                inverse = np.zeros(items.size, dtype=np.int64)
+            uniq_rows.append(uniq)
+            bounds = np.cumsum([0] + [len(batch) for batch in batches])
+            local_idx.append(
+                [inverse[bounds[e] : bounds[e + 1]] for e in range(len(batches))]
+            )
+
+        batch_lengths = np.array(
+            [len(batches[0]) if batches else 0 for batches in epoch_batches]
+        )
+        max_len = max(int(batch_lengths.max()), 1)
+        max_rows = max(len(uniq) for uniq in uniq_rows)
+
+        # Stacked working tables, user matrix and replicated head.
+        work_table = np.zeros((num_clients, max_rows, dim), dtype=dtype)
+        for b, uniq in enumerate(uniq_rows):
+            work_table[b, : uniq.size] = table[uniq]
+        table_param = Parameter(work_table, name=f"V[{group}]xB")
+        user_param = Parameter(
+            np.stack([runtime.user_embedding for runtime in runtimes]).astype(
+                dtype, copy=False
+            ),
+            name=f"U[{group}]xB",
+        )
+        head_before = model.head.state_dict()
+        stacked_head: Dict[str, Parameter] = {
+            name: Parameter(
+                np.repeat(value[np.newaxis], num_clients, axis=0), name=f"{name}xB"
+            )
+            for name, value in head_before.items()
+        }
+
+        optimizer = Adam(
+            [user_param, table_param, *stacked_head.values()], lr=cfg.lr
+        )
+
+        # Padded per-epoch index / label / weight tensors.
+        per_client_loss = np.zeros(num_clients)
+        for epoch in range(cfg.local_epochs):
+            idx = np.zeros((num_clients, max_len), dtype=np.int64)
+            labels = np.zeros((num_clients, max_len), dtype=dtype)
+            weights = np.zeros((num_clients, max_len), dtype=dtype)
+            for b, batches in enumerate(epoch_batches):
+                if not batches:
+                    continue
+                length = len(batches[epoch])
+                idx[b, :length] = local_idx[b][epoch]
+                labels[b, :length] = batches[epoch].labels
+                weights[b, :length] = 1.0 / max(length, 1)
+
+            optimizer.zero_grad()
+            elementwise = ops.bce_with_logits(
+                self._forward(model, user_param, table_param, stacked_head, idx),
+                labels,
+                reduction="none",
+            )
+            loss = (elementwise * weights).sum()
+            loss.backward()
+            optimizer.step()
+            per_client_loss = (elementwise.data * (weights > 0)).sum(axis=1) / np.maximum(
+                batch_lengths, 1
+            )
+
+        return self._emit_updates(
+            group,
+            users,
+            runtimes,
+            uniq_rows,
+            table,
+            table_param,
+            user_param,
+            head_before,
+            stacked_head,
+            batch_lengths,
+            per_client_loss,
+        )
+
+    def _forward(
+        self,
+        model,
+        user_param: Parameter,
+        table_param: Parameter,
+        stacked_head: Dict[str, Parameter],
+        idx: np.ndarray,
+    ):
+        """One fused forward pass → (B, L) logits for the whole bucket.
+
+        The user embedding is kept as a (B, 1, d) operand throughout —
+        the GMF weight is folded into it (``(u⊙v)·w = v·(u⊙w)``) and the
+        first FFN layer's ``[u, v]`` GEMM is split into a user term and an
+        item term — so no (B, L, d) user broadcast or (B, L, 2d) concat is
+        ever materialised.
+        """
+        num_clients, max_len = idx.shape
+        dim = user_param.shape[1]
+        item_vecs = ops.batched_gather(table_param, idx)
+        user_col = user_param.reshape(num_clients, dim, 1)
+
+        gmf_weight = user_col * stacked_head["gmf.weight"]
+        logits = item_vecs.matmul(gmf_weight).reshape(num_clients, max_len)
+        if model.arch == "mf":
+            return logits
+
+        z = None
+        for position, layer in enumerate(model.head.ffn):
+            if isinstance(layer, Linear):
+                weight = stacked_head[f"ffn.layer{position}.weight"]
+                if z is None:
+                    user_term = user_param.reshape(num_clients, 1, dim).matmul(
+                        weight[:, :dim, :]
+                    )
+                    z = item_vecs.matmul(weight[:, dim:, :]) + user_term
+                else:
+                    z = z.matmul(weight)
+                if layer.has_bias:
+                    bias = stacked_head[f"ffn.layer{position}.bias"]
+                    z = z + bias.reshape(num_clients, 1, -1)
+            else:
+                z = z.relu()
+        return logits + z.reshape(num_clients, max_len)
+
+    # ------------------------------------------------------------------
+    # Update emission (mirrors the tail of ``train_client``)
+    # ------------------------------------------------------------------
+    def _emit_updates(
+        self,
+        group: str,
+        users: List[int],
+        runtimes,
+        uniq_rows: List[np.ndarray],
+        table: np.ndarray,
+        table_param: Parameter,
+        user_param: Parameter,
+        head_before: Dict[str, np.ndarray],
+        stacked_head: Dict[str, Parameter],
+        batch_lengths: np.ndarray,
+        per_client_loss: np.ndarray,
+    ) -> List[ClientUpdate]:
+        updates: List[ClientUpdate] = []
+        for b, (user, runtime) in enumerate(zip(users, runtimes)):
+            runtime.commit_user_embedding(user_param.data[b])
+
+            uniq = uniq_rows[b]
+            embedding_delta = np.zeros_like(table)
+            embedding_delta[uniq] = table_param.data[b, : uniq.size] - table[uniq]
+
+            head_after = {
+                name: stacked_head[name].data[b] for name in head_before
+            }
+            updates.append(
+                ClientUpdate(
+                    user_id=user,
+                    group=group,
+                    embedding_delta=embedding_delta,
+                    head_deltas={group: state_delta(head_after, head_before)},
+                    num_examples=int(batch_lengths[b]),
+                    train_loss=float(per_client_loss[b]),
+                )
+            )
+        return updates

@@ -96,6 +96,15 @@ class FederatedConfig:
     #: Optional offline/straggler simulation; see
     #: :mod:`repro.federated.availability`.  ``None`` = everyone on time.
     availability: Optional["AvailabilityConfig"] = None
+    #: Round execution mode: ``"auto"`` uses the vectorized round engine
+    #: (:mod:`repro.federated.round_engine`) whenever this trainer is
+    #: compatible, ``"vectorized"`` requires it (raising otherwise) and
+    #: ``"reference"`` forces the per-client oracle path.
+    engine: str = "auto"
+    #: Floating dtype of model/user parameters (``"float64"`` or
+    #: ``"float32"``).  Sweeps opt into float32 for speed/memory; the
+    #: default stays float64 so gradient checking is unaffected.
+    dtype: str = "float64"
 
     def copy_with(self, **overrides) -> "FederatedConfig":
         """Functional update (used heavily by the experiment sweeps)."""
@@ -154,11 +163,35 @@ class FederatedTrainer:
         if missing:
             raise KeyError(f"clients without group assignment: {missing[:5]}...")
 
+        if config.engine not in ("auto", "vectorized", "reference"):
+            raise ValueError(f"unknown engine mode {config.engine!r}")
+        if config.dtype not in ("float64", "float32"):
+            raise ValueError(f"unsupported dtype {config.dtype!r}")
+
         self.groups: List[str] = sorted(
             set(self.group_of.values()), key=lambda g: config.dims[g]
         )
         self._build_models()
         self._build_runtimes()
+        self._engine = self._build_engine()
+
+    def _build_engine(self):
+        """Resolve the configured execution mode against this trainer."""
+        from repro.federated.round_engine import (
+            VectorizedRoundEngine,
+            engine_supports,
+        )
+
+        if self.config.engine == "reference":
+            return None
+        if engine_supports(self):
+            return VectorizedRoundEngine(self)
+        if self.config.engine == "vectorized":
+            raise ValueError(
+                f"engine='vectorized' requested but {type(self).__name__} "
+                f"(arch={self.config.arch!r}) requires the reference path"
+            )
+        return None
 
     # ------------------------------------------------------------------
     # Construction
@@ -186,6 +219,14 @@ class FederatedTrainer:
                 rng=rng,
                 item_weight=tables[dims[group]],
             )
+        if cfg.dtype != "float64":
+            # Parameters are initialised in float64 for RNG-stream
+            # stability, then cast once so every session runs in the
+            # configured precision end to end.
+            target = np.dtype(cfg.dtype)
+            for model in self.models.values():
+                for param in model.parameters():
+                    param.data = param.data.astype(target)
 
     def _build_runtimes(self) -> None:
         cfg = self.config
@@ -197,6 +238,7 @@ class FederatedTrainer:
                 embedding_dim=cfg.dims[group],
                 num_items=self.num_items,
                 seed=cfg.seed,
+                dtype=np.dtype(cfg.dtype),
             )
 
     # ------------------------------------------------------------------
@@ -209,6 +251,21 @@ class FederatedTrainer:
         head of width ≤ its own (dual-task requirement).
         """
         return [group]
+
+    def local_training_is_base(self) -> bool:
+        """Whether local sessions follow the stock protocol exactly.
+
+        The vectorized round engine fuses the *base* local objective
+        (own-group BCE); this hook reports eligibility.  The default is a
+        structural check; subclasses whose overrides are configuration-
+        gated (HeteFedRec with every component disabled is Directly
+        Aggregate) refine it.
+        """
+        cls = type(self)
+        return (
+            cls.client_loss is FederatedTrainer.client_loss
+            and cls.trained_head_groups is FederatedTrainer.trained_head_groups
+        )
 
     def client_loss(
         self, runtime: ClientRuntime, user_param: Parameter, batch: TrainingBatch
@@ -422,8 +479,8 @@ class FederatedTrainer:
             else:
                 on_time, stragglers = round_users, []
 
-            updates = [self.train_client(self.runtimes[u]) for u in on_time]
-            late = [self.train_client(self.runtimes[u]) for u in stragglers]
+            updates = self._train_clients(on_time)
+            late = self._train_clients(stragglers)
             losses.extend(u.train_loss for u in updates)
 
             if self._straggler_buffer is not None:
@@ -435,6 +492,20 @@ class FederatedTrainer:
         self.post_aggregate(epoch)
         return float(np.mean(losses)) if losses else 0.0
 
+    def _train_clients(self, users: Sequence[int]) -> List[ClientUpdate]:
+        """Local-training phase for one round's client list.
+
+        Dispatches to the vectorized round engine when one is active; the
+        per-client :meth:`train_client` loop is the reference path and the
+        fallback.  Both produce the same update list (same order, same
+        values up to floating-point summation order).
+        """
+        if not users:
+            return []
+        if self._engine is not None:
+            return self._engine.train_round(users)
+        return [self.train_client(self.runtimes[u]) for u in users]
+
     def fit(self, evaluator: Optional[Evaluator] = None) -> TrainingHistory:
         """Run the full federated schedule, logging history per epoch."""
         cfg = self.config
@@ -444,10 +515,31 @@ class FederatedTrainer:
             if evaluator is not None and (
                 epoch % cfg.eval_every == 0 or epoch == cfg.epochs
             ):
-                result = evaluator.evaluate(self.score_all_items)
+                result = self.evaluate_with(evaluator)
                 recall, ndcg = result.recall, result.ndcg
             self.history.log(epoch, mean_loss, recall=recall, ndcg=ndcg)
         return self.history
+
+    def supports_blocked_scoring(self) -> bool:
+        """Whether blocked full-ranking evaluation is valid for this trainer.
+
+        Independent of *training* eligibility: a trainer whose local
+        objective needs the reference path (HeteFedRec with UDL/DDR) still
+        scores with the stock hook, so its evaluation can be blocked.
+        Requires the inherited ``score_all_items`` and a batched-scoring
+        model for every group (LightGCN's local-graph scoring is not).
+        """
+        return type(self).score_all_items is FederatedTrainer.score_all_items and all(
+            model.batched_scoring for model in self.models.values()
+        )
+
+    def evaluate_with(self, evaluator: Evaluator, user_subset=None):
+        """Run ``evaluator`` over this trainer via the fastest valid path."""
+        if self.supports_blocked_scoring():
+            return evaluator.evaluate_blocked(
+                self.score_item_matrix, user_subset=user_subset
+            )
+        return evaluator.evaluate(self.score_all_items, user_subset=user_subset)
 
     # ------------------------------------------------------------------
     # Inference
@@ -465,6 +557,29 @@ class FederatedTrainer:
                 train_item_ids=client.train_items,
             )
         return logits.data.copy()
+
+    def score_item_matrix(self, clients: Sequence[ClientData]) -> np.ndarray:
+        """Scores of every catalogue item for a block of users at once.
+
+        Stacks each dim-group's user embeddings and runs the group model's
+        batched :meth:`~repro.models.base.BaseRecommender.score_matrix`
+        once — the blocked counterpart of :meth:`score_all_items`, used by
+        :meth:`Evaluator.evaluate_blocked`.
+        """
+        scores = np.empty((len(clients), self.num_items))
+        for group in self.groups:
+            positions = [
+                i
+                for i, client in enumerate(clients)
+                if self.group_of[client.user_id] == group
+            ]
+            if not positions:
+                continue
+            user_mat = np.stack(
+                [self.runtimes[clients[i].user_id].user_embedding for i in positions]
+            )
+            scores[positions] = self.models[group].score_matrix(user_mat)
+        return scores
 
     # ------------------------------------------------------------------
     # Introspection

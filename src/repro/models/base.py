@@ -71,6 +71,44 @@ class ScoringHead(Module):
         gmf_logit = self.gmf(user_vecs * item_vecs).reshape(-1)
         return mlp_logit + gmf_logit
 
+    # ------------------------------------------------------------------
+    # Batched all-pairs scoring (evaluation fast path, plain numpy)
+    # ------------------------------------------------------------------
+    def gmf_matrix(self, user_mat: np.ndarray, item_mat: np.ndarray) -> np.ndarray:
+        """GMF logits for every user×item pair as one BLAS call.
+
+        ``Σ_d u_d v_d w_d = (u ⊙ w) · v``, so the whole (B, I) block is
+        ``(U ⊙ w) @ V.T`` — no (B, I, d) intermediate is materialised.
+        """
+        weighted_users = user_mat * self.gmf.weight.data[:, 0]
+        return weighted_users @ item_mat.T
+
+    def logits_matrix(self, user_mat: np.ndarray, item_mat: np.ndarray) -> np.ndarray:
+        """Full-head logits (MLP + GMF) for every user×item pair, (B, I).
+
+        The first FFN layer acts on ``[u, v]`` concatenations, so its
+        pre-activation splits into a user term and an item term: two small
+        GEMMs plus a broadcast add replace B·I per-pair concatenations.
+        The remaining layers are pointwise or (h → h') matmuls over the
+        (B, I, h) activations.
+        """
+        layers = list(self.ffn)
+        first = layers[0]
+        split = user_mat.shape[1]
+        user_part = user_mat @ first.weight.data[:split]
+        item_part = item_mat @ first.weight.data[split:]
+        z = user_part[:, None, :] + item_part[None, :, :]
+        if first.has_bias:
+            z = z + first.bias.data
+        for layer in layers[1:]:
+            if isinstance(layer, ReLU):
+                z = np.maximum(z, 0.0)
+            else:
+                z = z @ layer.weight.data
+                if layer.has_bias:
+                    z = z + layer.bias.data
+        return z[..., 0] + self.gmf_matrix(user_mat, item_mat)
+
 
 def tile_user(user_vec: Tensor, batch: int) -> Tensor:
     """Broadcast a (d,) user vector into a (batch, d) matrix, differentiably.
@@ -100,6 +138,11 @@ class BaseRecommender(Module):
     """
 
     arch: str = "base"
+
+    #: Whether :meth:`score_matrix` is implemented for this architecture.
+    #: Models whose scoring needs per-user side information (LightGCN's
+    #: local graph) leave this ``False`` and are evaluated per client.
+    batched_scoring: bool = False
 
     def __init__(
         self,
@@ -143,12 +186,7 @@ class BaseRecommender(Module):
         ``train_item_ids`` carries the client's local graph for models
         whose scoring uses it (LightGCN); NCF ignores it.
         """
-        head = head if head is not None else self.head
-        effective = width if width is not None else self.dim
-        if effective > self.dim:
-            raise ValueError(f"width {effective} exceeds table dim {self.dim}")
-        if head.dim != effective:
-            raise ValueError(f"head dim {head.dim} does not match width {effective}")
+        effective, head = self._validate_prefix(width, head)
         item_vecs = self.item_vectors(np.asarray(item_ids, dtype=np.int64), width=effective)
         if effective < user_vec.shape[-1]:
             user_vec = user_vec[:effective]
@@ -164,6 +202,52 @@ class BaseRecommender(Module):
         width: int,
     ) -> Tensor:
         raise NotImplementedError
+
+    def score_matrix(
+        self,
+        user_mat: np.ndarray,
+        width: Optional[int] = None,
+        head: Optional[ScoringHead] = None,
+    ) -> np.ndarray:
+        """Scores of *every* catalogue item for a stacked block of users.
+
+        ``user_mat`` is (B, N); the result is (B, |V|) — one full-ranking
+        score row per user, computed as blocked matrix products instead of
+        B separate :meth:`logits` calls.  Plain numpy (no tape): this is an
+        inference-only path.  Architectures that cannot score without
+        per-user context keep ``batched_scoring = False`` and raise here.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support batched scoring"
+        )
+
+    def _validate_prefix(
+        self, width: Optional[int], head: Optional[ScoringHead]
+    ) -> Tuple[int, ScoringHead]:
+        """Resolve and validate a (width, head) prefix-submodel selection.
+
+        Shared by the per-user :meth:`logits` path and the blocked
+        :meth:`score_matrix` path so both accept exactly the same
+        combinations.
+        """
+        head = head if head is not None else self.head
+        effective = width if width is not None else self.dim
+        if effective > self.dim:
+            raise ValueError(f"width {effective} exceeds table dim {self.dim}")
+        if head.dim != effective:
+            raise ValueError(f"head dim {head.dim} does not match width {effective}")
+        return effective, head
+
+    def _prefix_block(
+        self, user_mat: np.ndarray, width: Optional[int], head: Optional[ScoringHead]
+    ) -> Tuple[np.ndarray, np.ndarray, ScoringHead]:
+        """Shared prefix handling for :meth:`score_matrix` implementations."""
+        effective, head = self._validate_prefix(width, head)
+        user_mat = np.asarray(user_mat)
+        if user_mat.ndim != 2:
+            raise ValueError(f"user_mat must be (B, d), got {user_mat.shape}")
+        item_mat = self.item_embedding.weight.data[:, :effective]
+        return user_mat[:, :effective], item_mat, head
 
     # ------------------------------------------------------------------
     # Parameter partition (public V vs public Θ)

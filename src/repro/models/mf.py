@@ -34,6 +34,16 @@ class GMF(BaseRecommender):
     """
 
     arch = "mf"
+    batched_scoring = True
+
+    def score_matrix(
+        self,
+        user_mat: np.ndarray,
+        width: Optional[int] = None,
+        head: Optional[ScoringHead] = None,
+    ) -> np.ndarray:
+        user_mat, item_mat, head = self._prefix_block(user_mat, width, head)
+        return head.gmf_matrix(user_mat, item_mat)
 
     def _score(
         self,

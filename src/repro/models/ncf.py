@@ -19,6 +19,16 @@ class NCF(BaseRecommender):
     """NCF scoring: head over the plain embedding concatenation."""
 
     arch = "ncf"
+    batched_scoring = True
+
+    def score_matrix(
+        self,
+        user_mat: np.ndarray,
+        width: Optional[int] = None,
+        head: Optional[ScoringHead] = None,
+    ) -> np.ndarray:
+        user_mat, item_mat, head = self._prefix_block(user_mat, width, head)
+        return head.logits_matrix(user_mat, item_mat)
 
     def _score(
         self,

@@ -18,10 +18,15 @@ from repro.autograd.tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is always trainable and owned by a module."""
+    """A :class:`Tensor` that is always trainable and owned by a module.
 
-    def __init__(self, data, name: str = "") -> None:
-        super().__init__(data, requires_grad=True, name=name)
+    ``dtype`` optionally casts the initial value (float32/float64); when
+    omitted the tape's default coercion applies (float64, with float32
+    arrays passed through — see ``repro.autograd.tensor._as_array``).
+    """
+
+    def __init__(self, data, name: str = "", dtype=None) -> None:
+        super().__init__(data, requires_grad=True, name=name, dtype=dtype)
 
 
 class Module:

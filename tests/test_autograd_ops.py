@@ -185,3 +185,40 @@ class TestNormHelpers:
     def test_frobenius_norm(self):
         x = Tensor([[3.0, 4.0]])
         assert float(ops.frobenius_norm(x).data) == pytest.approx(5.0, rel=1e-6)
+
+
+class TestBatchedGather:
+    def test_forward_selects_per_batch_rows(self):
+        weight = Tensor(np.arange(24, dtype=np.float64).reshape(2, 4, 3))
+        idx = np.array([[0, 2], [3, 3]])
+        out = ops.batched_gather(weight, idx)
+        assert np.array_equal(out.data[0], weight.data[0][[0, 2]])
+        assert np.array_equal(out.data[1], weight.data[1][[3, 3]])
+
+    def test_duplicate_indices_accumulate(self):
+        weight = Tensor(np.zeros((1, 3, 2)), requires_grad=True)
+        idx = np.array([[1, 1, 0]])
+        out = ops.batched_gather(weight, idx)
+        out.sum().backward()
+        assert np.array_equal(weight.grad[0, :, 0], [1.0, 2.0, 0.0])
+
+    def test_gradcheck(self):
+        from repro.autograd.gradcheck import gradcheck
+
+        rng = np.random.default_rng(0)
+        weight = Tensor(rng.normal(size=(2, 5, 3)), requires_grad=True)
+        idx = rng.integers(0, 5, size=(2, 4))
+        assert gradcheck(lambda w: (ops.batched_gather(w, idx) ** 2).sum(), [weight])
+
+    def test_matches_per_batch_gather(self):
+        rng = np.random.default_rng(1)
+        weight = rng.normal(size=(3, 6, 4))
+        idx = rng.integers(0, 6, size=(3, 5))
+        batched = ops.batched_gather(Tensor(weight), idx)
+        for b in range(3):
+            single = ops.gather(Tensor(weight[b]), idx[b])
+            assert np.array_equal(batched.data[b], single.data)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ops.batched_gather(Tensor(np.zeros((2, 3))), np.zeros((2, 2), dtype=int))

@@ -101,3 +101,34 @@ class TestNDCG:
         assert 0.0 <= value <= 1.0 + 1e-12
         # NDCG positive iff recall positive.
         assert (value > 0) == (recall_at_k(ranked, relevant, k=k) > 0)
+
+
+class TestTopKWithNaN:
+    """NaN scores (diverged models) must rank last, as the historical
+    full stable argsort did, in both partial and blocked top-k."""
+
+    def test_partial_top_k_nan_matches_argsort(self):
+        from repro.eval.metrics import partial_top_k
+
+        scores = np.array([1.0, np.nan, 3.0, np.nan, 2.0])
+        for k in (1, 2, 3, 5):
+            expect = np.argsort(-scores, kind="stable")[:k]
+            assert np.array_equal(partial_top_k(scores, k), expect), k
+
+    def test_blocked_top_k_nan_rows(self):
+        from repro.eval.metrics import blocked_top_k
+
+        scores = np.array(
+            [[1.0, np.nan, 3.0, 0.0], [4.0, 2.0, 1.0, 3.0]]
+        )
+        expect = np.stack(
+            [np.argsort(-row, kind="stable")[:2] for row in scores]
+        )
+        assert np.array_equal(blocked_top_k(scores, 2), expect)
+
+    def test_rank_items_all_nan(self):
+        from repro.eval.metrics import rank_items
+
+        scores = np.full(4, np.nan)
+        ranked = rank_items(scores, k=2)
+        assert ranked.size == 2

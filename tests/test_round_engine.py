@@ -1,0 +1,397 @@
+"""Equivalence suite: vectorized round engine vs. per-client reference.
+
+The engine's contract (see ``repro/federated/round_engine.py``) is
+numerical equivalence with the reference path up to floating-point
+summation order; everything here pins that to 1e-8 after multi-epoch
+runs, for homogeneous and heterogeneous group configurations, plus the
+blocked evaluator against the per-client protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor
+from repro.core.config import HeteFedRecConfig
+from repro.core.grouping import divide_clients, homogeneous_assignment
+from repro.core.hetefedrec import HeteFedRec
+from repro.data.synthetic import SyntheticConfig, load_benchmark_dataset
+from repro.data.splitting import train_test_split_per_user
+from repro.eval.evaluator import Evaluator
+from repro.federated.privacy import PrivacyConfig
+from repro.federated.round_engine import VectorizedRoundEngine, engine_supports
+from repro.federated.trainer import FederatedConfig, FederatedTrainer
+
+ATOL = 1e-8
+
+
+def small_config(**overrides):
+    base = dict(
+        arch="ncf",
+        dims={"s": 4, "m": 6, "l": 8},
+        epochs=2,
+        clients_per_round=16,
+        local_epochs=2,
+        lr=0.01,
+        seed=0,
+    )
+    base.update(overrides)
+    return FederatedConfig(**base)
+
+
+def fitted_pair(dataset, clients, group_of, evaluator=None, **overrides):
+    """Train one reference and one vectorized trainer on identical configs."""
+    trainers = []
+    for engine in ("reference", "vectorized"):
+        trainer = FederatedTrainer(
+            dataset.num_items,
+            clients,
+            group_of,
+            small_config(engine=engine, **overrides),
+        )
+        trainer.fit(evaluator)
+        trainers.append(trainer)
+    return trainers
+
+
+def assert_equivalent(reference, vectorized):
+    for ref_rec, vec_rec in zip(
+        reference.history.records, vectorized.history.records
+    ):
+        assert ref_rec.train_loss == pytest.approx(vec_rec.train_loss, abs=ATOL)
+        if ref_rec.recall is not None:
+            assert vec_rec.recall == pytest.approx(ref_rec.recall, abs=ATOL)
+            assert vec_rec.ndcg == pytest.approx(ref_rec.ndcg, abs=ATOL)
+    for group in reference.groups:
+        ref_state = reference.models[group].state_dict()
+        vec_state = vectorized.models[group].state_dict()
+        for key in ref_state:
+            np.testing.assert_allclose(
+                ref_state[key], vec_state[key], atol=ATOL, err_msg=f"{group}:{key}"
+            )
+    for user in reference.runtimes:
+        np.testing.assert_allclose(
+            reference.runtimes[user].user_embedding,
+            vectorized.runtimes[user].user_embedding,
+            atol=ATOL,
+            err_msg=f"user {user}",
+        )
+
+
+class TestEngineEquivalence:
+    def test_heterogeneous_ncf(self, tiny_dataset, tiny_clients):
+        group_of = divide_clients(tiny_clients)
+        evaluator = Evaluator(tiny_clients, k=10)
+        reference, vectorized = fitted_pair(
+            tiny_dataset, tiny_clients, group_of, evaluator
+        )
+        assert vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_homogeneous_ncf(self, tiny_dataset, tiny_clients):
+        group_of = homogeneous_assignment(tiny_clients, group="all")
+        reference, vectorized = fitted_pair(
+            tiny_dataset, tiny_clients, group_of, dims={"all": 6}
+        )
+        assert_equivalent(reference, vectorized)
+
+    def test_heterogeneous_mf(self, tiny_dataset, tiny_clients):
+        group_of = divide_clients(tiny_clients)
+        evaluator = Evaluator(tiny_clients, k=10)
+        reference, vectorized = fitted_pair(
+            tiny_dataset, tiny_clients, group_of, evaluator, arch="mf"
+        )
+        assert_equivalent(reference, vectorized)
+
+    def test_with_privacy_protection(self, tiny_dataset, tiny_clients):
+        """Client-side clipping/noise runs after training on the client's
+        own RNG, so the protected uploads must also match."""
+        group_of = divide_clients(tiny_clients)
+        reference, vectorized = fitted_pair(
+            tiny_dataset,
+            tiny_clients,
+            group_of,
+            privacy=PrivacyConfig(clip_norm=1.0, noise_std=0.01),
+        )
+        assert_equivalent(reference, vectorized)
+
+    def test_round_updates_identical(self, tiny_dataset, tiny_clients):
+        """Beyond end-state equality: the per-client uploads of a single
+        round match field by field, in round order."""
+        group_of = divide_clients(tiny_clients)
+        make = lambda engine: FederatedTrainer(
+            tiny_dataset.num_items,
+            tiny_clients,
+            group_of,
+            small_config(engine=engine),
+        )
+        reference, vectorized = make("reference"), make("vectorized")
+        users = [c.user_id for c in tiny_clients[:10]]
+        ref_updates = reference._train_clients(users)
+        vec_updates = vectorized._train_clients(users)
+        for ref_up, vec_up in zip(ref_updates, vec_updates):
+            assert ref_up.user_id == vec_up.user_id
+            assert ref_up.group == vec_up.group
+            assert ref_up.num_examples == vec_up.num_examples
+            assert ref_up.train_loss == pytest.approx(vec_up.train_loss, abs=ATOL)
+            np.testing.assert_allclose(
+                ref_up.embedding_delta, vec_up.embedding_delta, atol=ATOL
+            )
+            for head_group in ref_up.head_deltas:
+                for key, value in ref_up.head_deltas[head_group].items():
+                    np.testing.assert_allclose(
+                        value, vec_up.head_deltas[head_group][key], atol=ATOL
+                    )
+
+    def test_fewer_tape_nodes_per_round(self, tiny_dataset, tiny_clients):
+        """The fused graph must build ≥5× fewer Python-level autodiff
+        nodes per round than the per-client reference path."""
+        group_of = divide_clients(tiny_clients)
+        counts = {}
+        original_init = Tensor.__init__
+        for engine in ("reference", "vectorized"):
+            trainer = FederatedTrainer(
+                tiny_dataset.num_items,
+                tiny_clients,
+                group_of,
+                small_config(engine=engine),
+            )
+            users = [c.user_id for c in tiny_clients]
+            counter = {"n": 0}
+
+            def counting_init(self, *args, **kwargs):
+                counter["n"] += 1
+                original_init(self, *args, **kwargs)
+
+            Tensor.__init__ = counting_init
+            try:
+                trainer._train_clients(users)
+            finally:
+                Tensor.__init__ = original_init
+            counts[engine] = counter["n"]
+        assert counts["reference"] >= 5 * counts["vectorized"], counts
+
+
+class TestBlockedEvaluation:
+    @pytest.fixture()
+    def trained(self, tiny_dataset, tiny_clients):
+        group_of = divide_clients(tiny_clients)
+        trainer = FederatedTrainer(
+            tiny_dataset.num_items, tiny_clients, group_of, small_config()
+        )
+        trainer.run_epoch(1)
+        return trainer
+
+    def test_blocked_matches_per_client(self, trained, tiny_clients):
+        evaluator = Evaluator(tiny_clients, k=10)
+        per_client = evaluator.evaluate(trained.score_all_items)
+        blocked = evaluator.evaluate_blocked(trained.score_item_matrix)
+        assert blocked.evaluated_users.tolist() == per_client.evaluated_users.tolist()
+        np.testing.assert_allclose(
+            blocked.per_user_recall, per_client.per_user_recall, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            blocked.per_user_ndcg, per_client.per_user_ndcg, atol=ATOL
+        )
+        assert blocked.recall == pytest.approx(per_client.recall, abs=ATOL)
+        assert blocked.ndcg == pytest.approx(per_client.ndcg, abs=ATOL)
+
+    def test_block_size_invariance(self, trained, tiny_clients):
+        evaluator = Evaluator(tiny_clients, k=10)
+        small_blocks = evaluator.evaluate_blocked(
+            trained.score_item_matrix, block_size=7
+        )
+        one_block = evaluator.evaluate_blocked(
+            trained.score_item_matrix, block_size=10_000
+        )
+        np.testing.assert_allclose(
+            small_blocks.per_user_ndcg, one_block.per_user_ndcg, atol=ATOL
+        )
+
+    def test_user_subset(self, trained, tiny_clients):
+        evaluator = Evaluator(tiny_clients, k=10)
+        subset = [c.user_id for c in tiny_clients[::3]]
+        per_client = evaluator.evaluate(trained.score_all_items, user_subset=subset)
+        blocked = evaluator.evaluate_blocked(
+            trained.score_item_matrix, user_subset=subset
+        )
+        assert blocked.evaluated_users.tolist() == per_client.evaluated_users.tolist()
+        np.testing.assert_allclose(
+            blocked.per_user_ndcg, per_client.per_user_ndcg, atol=ATOL
+        )
+
+    def test_hetefedrec_blocked_eval(self, tiny_dataset, tiny_clients):
+        """Blocked scoring is independent of training eligibility: full
+        HeteFedRec trains on the reference path but evaluates blocked."""
+        trainer = HeteFedRec(
+            tiny_dataset.num_items,
+            tiny_clients,
+            HeteFedRecConfig(
+                arch="ncf",
+                dims={"s": 4, "m": 6, "l": 8},
+                epochs=1,
+                clients_per_round=16,
+                local_epochs=1,
+            ),
+        )
+        trainer.run_epoch(1)
+        assert trainer._engine is None
+        assert trainer.supports_blocked_scoring()
+        evaluator = Evaluator(tiny_clients, k=10)
+        per_client = evaluator.evaluate(trainer.score_all_items)
+        blocked = trainer.evaluate_with(evaluator)
+        assert blocked.evaluated_users.tolist() == per_client.evaluated_users.tolist()
+        np.testing.assert_allclose(
+            blocked.per_user_ndcg, per_client.per_user_ndcg, atol=ATOL
+        )
+
+    def test_lightgcn_stays_per_client(self, tiny_dataset, tiny_clients):
+        trainer = FederatedTrainer(
+            tiny_dataset.num_items,
+            tiny_clients,
+            divide_clients(tiny_clients),
+            small_config(arch="lightgcn"),
+        )
+        assert not trainer.supports_blocked_scoring()
+
+    def test_empty_subset(self, trained, tiny_clients):
+        evaluator = Evaluator(tiny_clients, k=10)
+        result = evaluator.evaluate_blocked(
+            trained.score_item_matrix, user_subset=[]
+        )
+        assert result.recall == 0.0
+        assert result.evaluated_users.size == 0
+
+
+class TestDispatch:
+    def test_auto_uses_engine_for_ncf(self, tiny_dataset, tiny_clients):
+        trainer = FederatedTrainer(
+            tiny_dataset.num_items,
+            tiny_clients,
+            divide_clients(tiny_clients),
+            small_config(),
+        )
+        assert isinstance(trainer._engine, VectorizedRoundEngine)
+
+    def test_auto_falls_back_for_lightgcn(self, tiny_dataset, tiny_clients):
+        trainer = FederatedTrainer(
+            tiny_dataset.num_items,
+            tiny_clients,
+            divide_clients(tiny_clients),
+            small_config(arch="lightgcn"),
+        )
+        assert trainer._engine is None
+
+    def test_vectorized_on_lightgcn_raises(self, tiny_dataset, tiny_clients):
+        with pytest.raises(ValueError):
+            FederatedTrainer(
+                tiny_dataset.num_items,
+                tiny_clients,
+                divide_clients(tiny_clients),
+                small_config(arch="lightgcn", engine="vectorized"),
+            )
+
+    def test_unknown_engine_mode_rejected(self, tiny_dataset, tiny_clients):
+        with pytest.raises(ValueError):
+            FederatedTrainer(
+                tiny_dataset.num_items,
+                tiny_clients,
+                divide_clients(tiny_clients),
+                small_config(engine="warp"),
+            )
+
+    def test_directly_aggregate_uses_engine(self, tiny_dataset, tiny_clients):
+        """HeteFedRec with every component off IS the base protocol
+        (Directly Aggregate), so it must ride the engine — and match the
+        reference path."""
+        from repro.baselines.direct import DirectAggregateTrainer
+
+        trainers = []
+        for engine in ("reference", "vectorized"):
+            trainer = DirectAggregateTrainer(
+                tiny_dataset.num_items,
+                tiny_clients,
+                HeteFedRecConfig(
+                    arch="ncf",
+                    dims={"s": 4, "m": 6, "l": 8},
+                    epochs=2,
+                    clients_per_round=16,
+                    local_epochs=2,
+                    engine=engine,
+                ),
+            )
+            trainer.fit()
+            trainers.append(trainer)
+        reference, vectorized = trainers
+        assert vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_hetefedrec_overridden_hooks_fall_back(self, tiny_dataset, tiny_clients):
+        """HeteFedRec overrides client_loss/trained_head_groups, so the
+        fused BCE graph would be wrong — the reference path must win."""
+        trainer = HeteFedRec(
+            tiny_dataset.num_items,
+            tiny_clients,
+            HeteFedRecConfig(
+                arch="ncf",
+                dims={"s": 4, "m": 6, "l": 8},
+                epochs=1,
+                clients_per_round=8,
+                local_epochs=1,
+            ),
+        )
+        assert not engine_supports(trainer)
+        assert trainer._engine is None
+
+
+class TestDtypeKnob:
+    def test_float32_threads_through(self, tiny_dataset, tiny_clients):
+        group_of = divide_clients(tiny_clients)
+        trainer = FederatedTrainer(
+            tiny_dataset.num_items,
+            tiny_clients,
+            group_of,
+            small_config(dtype="float32", epochs=1),
+        )
+        assert trainer.models["s"].item_embedding.weight.data.dtype == np.float32
+        runtime = next(iter(trainer.runtimes.values()))
+        assert runtime.user_embedding.dtype == np.float32
+        trainer.fit(Evaluator(tiny_clients, k=10))
+        assert runtime.user_embedding.dtype == np.float32
+        assert np.isfinite(trainer.history.records[-1].train_loss)
+
+    def test_float32_reference_and_vectorized_agree(self, tiny_dataset, tiny_clients):
+        group_of = divide_clients(tiny_clients)
+        reference, vectorized = fitted_pair(
+            tiny_dataset, tiny_clients, group_of, dtype="float32", epochs=1
+        )
+        for group in reference.groups:
+            np.testing.assert_allclose(
+                reference.models[group].item_embedding.weight.data,
+                vectorized.models[group].item_embedding.weight.data,
+                atol=1e-4,
+            )
+
+    def test_default_stays_float64(self, tiny_dataset, tiny_clients):
+        trainer = FederatedTrainer(
+            tiny_dataset.num_items,
+            tiny_clients,
+            divide_clients(tiny_clients),
+            small_config(),
+        )
+        assert trainer.models["s"].item_embedding.weight.data.dtype == np.float64
+
+    def test_parameter_dtype_validated(self):
+        from repro.nn.module import Parameter
+
+        assert Parameter(np.zeros(3), dtype=np.float32).data.dtype == np.float32
+        with pytest.raises(TypeError):
+            Parameter(np.zeros(3), dtype=np.float16)
+
+    def test_invalid_dtype_rejected(self, tiny_dataset, tiny_clients):
+        with pytest.raises(ValueError):
+            FederatedTrainer(
+                tiny_dataset.num_items,
+                tiny_clients,
+                divide_clients(tiny_clients),
+                small_config(dtype="float16"),
+            )
