@@ -1,14 +1,19 @@
 """Benchmark: per-client reference rounds vs. the vectorized round engine.
 
 Times one full local-training + aggregation cycle of a 256-client round
-(paper protocol: ncf, dims {8, 16, 32}, 4 local epochs) under both
-execution modes, plus per-client vs. blocked full-ranking evaluation, and
-writes the results to ``BENCH_round_engine.json``:
+under both execution modes for two configurations — the base protocol
+(ncf, dims {8, 16, 32}, 4 local epochs) and the full HeteFedRec method
+(unified dual-task loss + DDR + RESKD, the paper's headline Eq. 11
+objective) — plus per-client vs. blocked full-ranking evaluation, and
+records the sparse-upload wire cost against the dense-table equivalent.
+Results go to ``BENCH_round_engine.json``:
 
     PYTHONPATH=src python benchmarks/bench_round_engine.py
 
-The CI hook is ``benchmarks/test_bench_round_engine.py`` (marked
-``slow``, excluded from tier-1 by ``pytest.ini``).
+CI hooks: ``benchmarks/test_bench_round_engine.py`` (marked ``slow``,
+excluded from tier-1 by ``pytest.ini``) runs a scaled-down full check;
+``benchmarks/test_bench_smoke.py`` is the tier-1 smoke test keeping this
+script importable and runnable at toy scale.
 """
 
 from __future__ import annotations
@@ -21,7 +26,9 @@ from typing import Dict
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.core.config import HeteFedRecConfig
 from repro.core.grouping import divide_clients
+from repro.core.hetefedrec import HeteFedRec
 from repro.data.splitting import train_test_split_per_user
 from repro.data.synthetic import DATASET_SPECS, SyntheticConfig, load_benchmark_dataset
 from repro.eval.evaluator import Evaluator
@@ -58,20 +65,53 @@ def count_tape_nodes(fn) -> int:
     return counter["n"]
 
 
-def time_round(trainer: FederatedTrainer, users) -> Dict[str, float]:
-    """One warm-up-free measurement of train-all-clients + aggregate."""
-    start = time.perf_counter()
-    updates = trainer._train_clients(users)
-    train_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    trainer.apply_updates(updates)
-    aggregate_seconds = time.perf_counter() - start
-    total = train_seconds + aggregate_seconds
+def time_round(trainer: FederatedTrainer, users, repeats: int = 3) -> Dict[str, float]:
+    """Best-of-``repeats`` measurement of train-all-clients + aggregate.
+
+    Consecutive rounds on one trainer do identical work (state advances,
+    cost does not), so repeating on the same instance and keeping the
+    fastest pass filters scheduler noise out of the reported speedups.
+    """
+    best = None
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        updates = trainer._train_clients(users)
+        train_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        trainer.apply_updates(updates)
+        aggregate_seconds = time.perf_counter() - start
+        total = train_seconds + aggregate_seconds
+        if best is None or total < best["round_seconds"]:
+            best = {
+                "train_seconds": train_seconds,
+                "aggregate_seconds": aggregate_seconds,
+                "round_seconds": total,
+                "rounds_per_sec": 1.0 / total,
+                "upload": upload_stats(trainer, updates),
+            }
+    return best
+
+
+def upload_stats(trainer: FederatedTrainer, updates) -> Dict[str, float]:
+    """Wire-cost accounting for one round's uploads (feeds Table III).
+
+    ``mean_scalars`` is the actual (sparse) per-upload cost; the dense
+    equivalent is what the same client would pay shipping its whole
+    table plus trained heads.
+    """
+    from repro.federated.payload import state_size
+
+    cfg = trainer.config
+    actual = [u.upload_size for u in updates]
+    dense = [
+        trainer.num_items * cfg.dims[u.group]
+        + sum(state_size(delta) for delta in u.head_deltas.values())
+        for u in updates
+    ]
     return {
-        "train_seconds": train_seconds,
-        "aggregate_seconds": aggregate_seconds,
-        "round_seconds": total,
-        "rounds_per_sec": 1.0 / total,
+        "mean_scalars": float(np.mean(actual)),
+        "mean_scalars_dense_equiv": float(np.mean(dense)),
+        "reduction": float(np.mean(dense) / max(np.mean(actual), 1e-12)),
     }
 
 
@@ -159,6 +199,77 @@ def run_benchmark(
     }
 
 
+def run_hetefedrec_benchmark(
+    num_clients: int = 256,
+    num_items: int = 3706,
+    local_epochs: int = 4,
+    arch: str = "ncf",
+    seed: int = 7,
+) -> Dict:
+    """The paper's full method (UDL + DDR + RESKD) under both engines.
+
+    This is the configuration PR 1's engine could not fuse — the
+    dual-task objective forced the per-client reference path.  One timed
+    round per engine, plus the sparse-upload wire-cost accounting.
+    """
+    dataset, clients = build_problem(num_clients, num_items, seed=seed)
+    group_of = divide_clients(clients)
+    users_per_round = [c.user_id for c in clients][:num_clients]
+
+    results: Dict[str, Dict] = {}
+    trainers: Dict[str, HeteFedRec] = {}
+    for engine in ("reference", "vectorized"):
+        config = HeteFedRecConfig(
+            arch=arch,
+            dims={"s": 8, "m": 16, "l": 32},
+            epochs=1,
+            clients_per_round=num_clients,
+            local_epochs=local_epochs,
+            lr=0.01,
+            seed=0,
+            engine=engine,
+        )
+        trainer = HeteFedRec(dataset.num_items, clients, config, group_of=group_of)
+        trainers[engine] = trainer
+        probe = HeteFedRec(dataset.num_items, clients, config, group_of=group_of)
+        nodes = count_tape_nodes(lambda: probe._train_clients(users_per_round))
+        results[engine] = time_round(trainer, users_per_round)
+        results[engine]["tape_nodes_per_round"] = nodes
+
+    equivalence = {
+        "max_abs_item_table_delta": max(
+            float(
+                np.abs(
+                    trainers["reference"].models[g].item_embedding.weight.data
+                    - trainers["vectorized"].models[g].item_embedding.weight.data
+                ).max()
+            )
+            for g in trainers["reference"].groups
+        ),
+    }
+    return {
+        "config": {
+            "arch": arch,
+            "dims": {"s": 8, "m": 16, "l": 32},
+            "clients_per_round": num_clients,
+            "local_epochs": local_epochs,
+            "num_items": dataset.num_items,
+            "num_users": dataset.num_users,
+            "enable_udl": True,
+            "enable_ddr": True,
+            "enable_reskd": True,
+            "seed": seed,
+        },
+        "reference": results["reference"],
+        "vectorized": results["vectorized"],
+        "speedup": results["reference"]["round_seconds"]
+        / results["vectorized"]["round_seconds"],
+        "tape_node_reduction": results["reference"]["tape_nodes_per_round"]
+        / max(results["vectorized"]["tape_nodes_per_round"], 1),
+        "equivalence": equivalence,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--clients", type=int, default=256)
@@ -174,13 +285,27 @@ def main() -> None:
         local_epochs=args.local_epochs,
         arch=args.arch,
     )
+    report["hetefedrec_dual_task"] = run_hetefedrec_benchmark(
+        num_clients=args.clients,
+        num_items=args.items,
+        local_epochs=args.local_epochs,
+        arch=args.arch,
+    )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
+    dual = report["hetefedrec_dual_task"]
     print(
-        f"round: {report['reference']['round_seconds']:.2f}s → "
+        f"base round: {report['reference']['round_seconds']:.2f}s → "
         f"{report['vectorized']['round_seconds']:.2f}s "
         f"({report['speedup']:.1f}x); tape nodes ÷{report['tape_node_reduction']:.0f}; "
-        f"eval {report['evaluation']['speedup']:.1f}x; wrote {args.out}"
+        f"eval {report['evaluation']['speedup']:.1f}x"
+    )
+    print(
+        f"hetefedrec dual-task round: {dual['reference']['round_seconds']:.2f}s → "
+        f"{dual['vectorized']['round_seconds']:.2f}s ({dual['speedup']:.1f}x); "
+        f"upload {dual['vectorized']['upload']['mean_scalars']:.0f} vs dense "
+        f"{dual['vectorized']['upload']['mean_scalars_dense_equiv']:.0f} scalars "
+        f"(÷{dual['vectorized']['upload']['reduction']:.1f}); wrote {args.out}"
     )
 
 

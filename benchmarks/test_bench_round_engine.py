@@ -9,7 +9,7 @@ marker (see ``pytest.ini``); select it explicitly:
 
 import pytest
 
-from benchmarks.bench_round_engine import run_benchmark
+from benchmarks.bench_round_engine import run_benchmark, run_hetefedrec_benchmark
 
 
 @pytest.mark.slow
@@ -21,3 +21,13 @@ def test_vectorized_round_is_faster_and_equivalent():
     assert report["equivalence"]["ndcg_blocked"] == pytest.approx(
         report["equivalence"]["ndcg_per_client"], abs=1e-8
     )
+
+
+@pytest.mark.slow
+def test_dual_task_round_is_faster_and_equivalent():
+    report = run_hetefedrec_benchmark(num_clients=64, num_items=200, local_epochs=2)
+    assert report["speedup"] > 1.0
+    assert report["tape_node_reduction"] >= 5.0
+    assert report["equivalence"]["max_abs_item_table_delta"] < 1e-8
+    upload = report["vectorized"]["upload"]
+    assert upload["mean_scalars"] < upload["mean_scalars_dense_equiv"]

@@ -1,0 +1,31 @@
+"""Tier-1 smoke test for the round-engine benchmark script.
+
+Runs both benchmark entry points at toy scale (4 clients, 50 items, one
+local epoch) so ``bench_round_engine.py`` cannot silently rot between
+full (``-m slow``) runs: imports, trainer construction, both engines,
+the equivalence accounting and the upload stats all execute.  No timing
+assertions — at this scale the vectorized engine need not win.
+"""
+
+from benchmarks.bench_round_engine import run_benchmark, run_hetefedrec_benchmark
+
+
+def test_base_benchmark_runs_at_toy_scale():
+    report = run_benchmark(num_clients=4, num_items=50, local_epochs=1)
+    assert report["reference"]["round_seconds"] > 0
+    assert report["vectorized"]["round_seconds"] > 0
+    assert report["equivalence"]["max_abs_item_table_delta"] < 1e-8
+    upload = report["vectorized"]["upload"]
+    # Sparse uploads must be cheaper than shipping the dense table.
+    assert upload["mean_scalars"] < upload["mean_scalars_dense_equiv"]
+    assert upload["reduction"] > 1.0
+
+
+def test_hetefedrec_benchmark_runs_at_toy_scale():
+    report = run_hetefedrec_benchmark(num_clients=4, num_items=50, local_epochs=1)
+    assert report["reference"]["round_seconds"] > 0
+    assert report["vectorized"]["round_seconds"] > 0
+    assert report["equivalence"]["max_abs_item_table_delta"] < 1e-8
+    assert report["vectorized"]["upload"]["mean_scalars"] <= (
+        report["vectorized"]["upload"]["mean_scalars_dense_equiv"]
+    )

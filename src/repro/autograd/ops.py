@@ -60,9 +60,7 @@ def gather(weight: Tensor, indices: Union[np.ndarray, Sequence[int]]) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if weight.requires_grad:
-            full = np.zeros_like(weight.data)
-            np.add.at(full, indices, grad)
-            weight._accumulate(full)
+            np.add.at(weight._grad_buffer(), indices, grad)
 
     return Tensor(
         out_data,
@@ -77,10 +75,11 @@ def batched_gather(weight: Tensor, indices: np.ndarray) -> Tensor:
 
     The batched counterpart of :func:`gather` used by the vectorized round
     engine: ``weight`` stacks one embedding table per client ``(B, S, d)``
-    and ``indices`` holds each client's item batch ``(B, L)``.  The
-    backward pass scatter-adds into the touched ``(b, row)`` pairs with
-    ``np.add.at`` so duplicate items within a batch accumulate, exactly as
-    the per-client ``gather`` does.
+    and ``indices`` holds each client's item batch ``(B, L)``.
+
+    The backward pass scatter-adds into the touched ``(b, row)`` pairs of
+    the grad buffer with ``np.add.at`` so duplicate items within a batch
+    accumulate, exactly as the per-client ``gather`` does.
     """
     indices = np.asarray(indices, dtype=np.int64)
     if weight.data.ndim != 3 or indices.ndim != 2:
@@ -93,9 +92,7 @@ def batched_gather(weight: Tensor, indices: np.ndarray) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if weight.requires_grad:
-            full = np.zeros_like(weight.data)
-            np.add.at(full, (batch_arange, indices), grad)
-            weight._accumulate(full)
+            np.add.at(weight._grad_buffer(), (batch_arange, indices), grad)
 
     return Tensor(
         out_data,

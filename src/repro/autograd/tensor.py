@@ -183,6 +183,18 @@ class Tensor:
         else:
             self.grad += grad
 
+    def _grad_buffer(self) -> np.ndarray:
+        """The gradient array to scatter into, created zeroed on demand.
+
+        Sparse-scatter backwards (``gather``/``__getitem__``) add into
+        this buffer directly instead of building a full-size temporary
+        and handing it to :meth:`_accumulate` — one allocation and one
+        full pass fewer over what are the graph's largest arrays.
+        """
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        return self.grad
+
     # ------------------------------------------------------------------
     # Backward pass
     # ------------------------------------------------------------------
@@ -448,12 +460,21 @@ class Tensor:
 
     def __getitem__(self, key) -> "Tensor":
         out_data = self.data[key]
+        # Basic indexing (ints/slices only) selects each element at most
+        # once, so the gradient scatter is a plain sliced add — much
+        # faster than the buffered ``np.add.at`` that duplicate-capable
+        # fancy indices need.  Prefix slices taken by the round engine's
+        # multi-width forward live on this fast path.
+        parts = key if isinstance(key, tuple) else (key,)
+        basic = all(isinstance(part, (int, np.integer, slice)) for part in parts)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, key, grad)
-                self._accumulate(full)
+                full = self._grad_buffer()
+                if basic:
+                    full[key] += grad
+                else:
+                    np.add.at(full, key, grad)
 
         return self._make(np.asarray(out_data), (self,), backward)
 

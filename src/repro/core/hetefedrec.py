@@ -48,6 +48,9 @@ class HeteFedRec(FederatedTrainer):
             group_of = divide_clients(clients, config.ratios)
         self._kd_rng = np.random.default_rng(config.seed + 17)
         self._ddr_rng = np.random.default_rng(config.seed + 29)
+        #: Per-round DDR row subsets, set by :meth:`presample_ddr_rows`
+        #: at the start of every round (both execution paths).
+        self._session_ddr_rows = {}
         super().__init__(num_items, clients, group_of, config)
 
     # ------------------------------------------------------------------
@@ -62,9 +65,8 @@ class HeteFedRec(FederatedTrainer):
 
     def local_training_is_base(self) -> bool:
         """With UDL off and DDR inert, the overrides below reduce exactly
-        to the base protocol (the Directly Aggregate configuration), so
-        the vectorized round engine applies; RESKD is server-side and
-        never affects eligibility."""
+        to the base protocol (the Directly Aggregate configuration);
+        RESKD is server-side and never affects this."""
         cls = type(self)
         if (
             cls.client_loss is not HeteFedRec.client_loss
@@ -73,6 +75,57 @@ class HeteFedRec(FederatedTrainer):
             return False
         cfg = self.config
         return not cfg.enable_udl and not (cfg.enable_ddr and cfg.alpha > 0)
+
+    def fused_objective(self):
+        """Every stock HeteFedRec objective is engine-expressible.
+
+        The dual-task term is exactly the per-width BCE task list the
+        engine derives from :meth:`trained_head_groups`, and the DDR
+        penalty maps to ``FusedObjective.ddr_alpha`` plus the row
+        subsets pre-drawn by :meth:`presample_ddr_rows`.  Subclasses
+        that override any of the local-training hooks fall back to the
+        reference path.
+        """
+        from repro.federated.round_engine import FusedObjective
+
+        cls = type(self)
+        if (
+            cls.client_loss is not HeteFedRec.client_loss
+            or cls.trained_head_groups is not HeteFedRec.trained_head_groups
+            or cls._ddr_term is not HeteFedRec._ddr_term
+            or cls.presample_ddr_rows is not HeteFedRec.presample_ddr_rows
+        ):
+            return None
+        cfg = self.config
+        ddr_alpha = cfg.alpha if (cfg.enable_ddr and cfg.alpha > 0) else 0.0
+        return FusedObjective(ddr_alpha=ddr_alpha)
+
+    def presample_ddr_rows(self, user_ids):
+        """Draw each eligible client's DDR row subset for this round.
+
+        One draw per eligible client, clients in round order — the single
+        shared RNG site for both execution paths (``_train_clients``
+        stashes the result for the reference path's ``_ddr_term``; the
+        engine consumes it directly).  Group 's' never pays the penalty
+        (Eq. 14 applies to the medium/large tables) and small catalogues
+        use the full table (``None`` marker, no RNG consumed).
+        """
+        cfg = self.config
+        self._session_ddr_rows = {}
+        if not (cfg.enable_ddr and cfg.alpha > 0):
+            return {}
+        rows = self.num_items
+        sample = cfg.ddr_row_sample
+        for user in user_ids:
+            if self.group_of[user] == "s":
+                continue
+            if sample and rows > sample:
+                self._session_ddr_rows[user] = self._ddr_rng.choice(
+                    rows, size=sample, replace=False
+                )
+            else:
+                self._session_ddr_rows[user] = None
+        return self._session_ddr_rows
 
     def client_loss(
         self, runtime: ClientRuntime, user_param: Parameter, batch: TrainingBatch
@@ -96,23 +149,34 @@ class HeteFedRec(FederatedTrainer):
             loss = super().client_loss(runtime, user_param, batch)
 
         if cfg.enable_ddr and group != "s" and cfg.alpha > 0:
-            loss = loss + cfg.alpha * self._ddr_term(model)
+            loss = loss + cfg.alpha * self._ddr_term(model, runtime.user_id)
         return loss
 
-    def _ddr_term(self, model) -> Tensor:
+    def _ddr_term(self, model, user_id: int) -> Tensor:
         """Eq. 13 on (a row sample of) the client's item table.
 
         The paper regularises the whole table; sampling rows bounds the
         per-client cost at paper scale while leaving the estimator
-        unbiased — with small catalogues the full table is used.
+        unbiased — with small catalogues the full table is used.  The
+        subset is drawn once per local *session* (round), not per epoch:
+        equally unbiased across rounds, and it keeps the fused round
+        engine's per-client working set at ``batch rows + sample`` rather
+        than ``batch rows + local_epochs × sample``.  Subsets normally
+        arrive pre-drawn via :meth:`presample_ddr_rows`; a direct
+        ``train_client`` call outside a round falls back to drawing here.
         """
         weight = model.item_embedding.weight
         rows = weight.data.shape[0]
         sample = self.config.ddr_row_sample
-        if sample and rows > sample:
+        if user_id in self._session_ddr_rows:
+            subset = self._session_ddr_rows[user_id]
+        elif sample and rows > sample:
             subset = self._ddr_rng.choice(rows, size=sample, replace=False)
-            return decorrelation_penalty(weight[subset])
-        return decorrelation_penalty(weight)
+        else:
+            subset = None
+        if subset is None:
+            return decorrelation_penalty(weight)
+        return decorrelation_penalty(weight[subset])
 
     # ------------------------------------------------------------------
     # Server side: RESKD

@@ -30,6 +30,23 @@ class NegativeSampler:
             raise ValueError("num_items must be positive")
         self.num_items = num_items
         self._rng = np.random.default_rng(seed)
+        #: Cached boolean membership table of the last positive set.  A
+        #: per-client sampler sees the same positives every round, so the
+        #: table is built once and rejection becomes one fancy-index —
+        #: the acceptance decisions (hence the RNG stream) are unchanged.
+        self._positive_mask: np.ndarray | None = None
+
+    def _membership_mask(self, positives: np.ndarray) -> np.ndarray:
+        mask = self._positive_mask
+        if (
+            mask is None
+            or int(mask.sum()) != positives.size
+            or not mask[positives].all()
+        ):
+            mask = np.zeros(self.num_items, dtype=bool)
+            mask[positives] = True
+            self._positive_mask = mask
+        return mask
 
     def sample(self, positive_items: np.ndarray, count: int) -> np.ndarray:
         """Draw ``count`` item ids not present in ``positive_items``."""
@@ -46,16 +63,18 @@ class NegativeSampler:
             return self._rng.choice(pool, size=count, replace=True)
 
         # Batched rejection: draw 2× the outstanding need, mask out the
-        # positives with one ``np.isin`` call, and keep accepted draws in
-        # order.  Draw sizes and acceptance order match the historical
-        # per-item rejection loop, so seeded runs are unchanged.
+        # positives via the cached membership table, and keep accepted
+        # draws in order.  Draw sizes and acceptance order match the
+        # historical per-item rejection loop, so seeded runs are
+        # unchanged.
+        membership = self._membership_mask(positives)
         samples = np.empty(count, dtype=np.int64)
         filled = 0
         while filled < count:
             batch = self._rng.integers(
                 0, self.num_items, size=(count - filled) * 2, dtype=np.int64
             )
-            accepted = batch[~np.isin(batch, positives, assume_unique=False)]
+            accepted = batch[~membership[batch]]
             take = min(accepted.size, count - filled)
             samples[filled : filled + take] = accepted[:take]
             filled += take

@@ -10,7 +10,13 @@ client in a round trains from the same global snapshot, exactly as
 parallel devices would.
 """
 
-from repro.federated.payload import ClientUpdate, state_delta, state_size
+from repro.federated.payload import (
+    ClientUpdate,
+    SparseRowDelta,
+    as_dense_delta,
+    state_delta,
+    state_size,
+)
 from repro.federated.aggregation import (
     AggregationConfig,
     aggregate_head_updates,
@@ -44,7 +50,11 @@ from repro.federated.secure_agg import (
 )
 from repro.federated.server_optim import ServerOptimizer, ServerOptimizerConfig
 from repro.federated.trainer import FederatedConfig, FederatedTrainer
-from repro.federated.round_engine import VectorizedRoundEngine, engine_supports
+from repro.federated.round_engine import (
+    FusedObjective,
+    VectorizedRoundEngine,
+    engine_supports,
+)
 from repro.federated.checkpoint import (
     load_checkpoint,
     load_inference_model,
@@ -54,6 +64,8 @@ from repro.federated.checkpoint import (
 
 __all__ = [
     "ClientUpdate",
+    "SparseRowDelta",
+    "as_dense_delta",
     "state_delta",
     "state_size",
     "AggregationConfig",
@@ -80,6 +92,7 @@ __all__ = [
     "ServerOptimizerConfig",
     "FederatedConfig",
     "FederatedTrainer",
+    "FusedObjective",
     "VectorizedRoundEngine",
     "engine_supports",
     "save_checkpoint",

@@ -6,12 +6,31 @@ metadata for the server to aggregate and account communication.  Deltas
 (post-training minus pre-training values) stand in for the accumulated
 ``-lr·∇`` of the paper's Eq. 4: with one local gradient step they are
 identical, and with several they are the standard FedAvg generalisation.
+
+Sparse embedding deltas
+-----------------------
+A client's local session only ever moves the item rows its batches (and,
+under DDR, its sampled regulariser rows) touch — a few hundred rows out
+of a catalogue of thousands.  :class:`SparseRowDelta` is the row-indexed
+encoding of that fact: the sorted unique touched row ids plus a
+``(len(rows), width)`` value block.  Emitting, uploading and aggregating
+updates is then O(touched rows), not O(catalogue), and ``upload_size``
+reports the true wire cost ``len(rows) * (1 + width)`` (each row ships
+its id plus ``width`` values).
+
+Contract for consumers: the hot aggregation paths (padded/secure
+aggregation, privacy protection, availability merging, compression)
+operate on ``rows``/``values`` directly and never materialise the full
+table.  ``dense()`` — also reachable implicitly through ``__array__`` —
+is the escape hatch for genuinely dense consumers (per-row robust
+statistics over aligned client stacks, diagnostics, tests); anything on
+a per-client per-round path should not call it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -30,32 +49,169 @@ def state_size(state: Mapping[str, np.ndarray]) -> int:
     return int(sum(array.size for array in state.values()))
 
 
+def touched_rows(values: np.ndarray) -> np.ndarray:
+    """Indices of rows with any non-zero entry (an upload's support).
+
+    The single definition of "touched" shared by every sparse/dense
+    consumer — works on full dense tables and on sparse value blocks
+    alike (for a :class:`SparseRowDelta`, apply it to ``.values`` and map
+    the result through ``.rows``).
+    """
+    return np.flatnonzero(np.abs(values).sum(axis=1) > 0)
+
+
+@dataclass
+class SparseRowDelta:
+    """A row-sparse ``(num_rows, width)`` delta: only touched rows exist.
+
+    ``rows`` must be sorted, unique row indices into the logical dense
+    table; ``values`` holds the corresponding ``(len(rows), width)``
+    block.  Every row is implicitly zero elsewhere, so densifying and
+    operating dense is always *numerically identical* to operating on the
+    sparse form (IEEE ``x + 0.0 == x`` for the nonzero rows kept here).
+    """
+
+    num_rows: int
+    rows: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.values = np.asarray(self.values)
+        if self.values.ndim != 2 or self.values.shape[0] != self.rows.size:
+            raise ValueError(
+                f"values shape {self.values.shape} does not match "
+                f"{self.rows.size} rows"
+            )
+        if self.rows.size:
+            if self.rows[0] < 0 or self.rows[-1] >= self.num_rows:
+                raise ValueError("row indices out of range")
+            if np.any(np.diff(self.rows) <= 0):
+                raise ValueError("rows must be sorted and unique")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, delta: np.ndarray) -> "SparseRowDelta":
+        """Encode a dense delta by its nonzero rows (exact round-trip)."""
+        delta = np.asarray(delta)
+        rows = touched_rows(delta)
+        return cls(delta.shape[0], rows, delta[rows].copy())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """The logical dense shape ``(num_rows, width)``."""
+        return (self.num_rows, self.values.shape[1])
+
+    @property
+    def width(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
+    @property
+    def wire_size(self) -> float:
+        """Scalar-equivalents on the wire: each row ships id + values."""
+        return float(self.rows.size * (1 + self.width))
+
+    # ------------------------------------------------------------------
+    # Materialisation (the escape hatch — see module docstring)
+    # ------------------------------------------------------------------
+    def dense(self) -> np.ndarray:
+        full = np.zeros((self.num_rows, self.width), dtype=self.values.dtype)
+        full[self.rows] = self.values
+        return full
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        out = self.dense()
+        return out.astype(dtype) if dtype is not None else out
+
+    def copy(self) -> "SparseRowDelta":
+        return SparseRowDelta(self.num_rows, self.rows.copy(), self.values.copy())
+
+    # ------------------------------------------------------------------
+    # Arithmetic (sparse-preserving)
+    # ------------------------------------------------------------------
+    def __mul__(self, factor: float) -> "SparseRowDelta":
+        return SparseRowDelta(self.num_rows, self.rows.copy(), self.values * factor)
+
+    __rmul__ = __mul__
+
+    def __add__(self, other):
+        if isinstance(other, SparseRowDelta):
+            if self.shape != other.shape:
+                raise ValueError(
+                    f"cannot add deltas of shapes {self.shape} and {other.shape}"
+                )
+            rows = np.union1d(self.rows, other.rows)
+            values = np.zeros((rows.size, self.width), dtype=self.values.dtype)
+            values[np.searchsorted(rows, self.rows)] = self.values
+            values[np.searchsorted(rows, other.rows)] += other.values
+            return SparseRowDelta(self.num_rows, rows, values)
+        if isinstance(other, (int, float)) and other == 0:
+            return self.copy()  # lets plain sum(...) start from 0
+        return self.dense() + np.asarray(other)
+
+    __radd__ = __add__
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+
+#: What an upload's embedding block may be: the row-sparse encoding (the
+#: default emitted by trainers) or a plain dense array (still accepted
+#: everywhere — hand-built updates, legacy paths, empty placeholders).
+EmbeddingDelta = Union[np.ndarray, SparseRowDelta]
+
+
+def as_dense_delta(delta: EmbeddingDelta) -> np.ndarray:
+    """Materialise either embedding-delta form as a dense array."""
+    return delta.dense() if isinstance(delta, SparseRowDelta) else delta
+
+
 @dataclass
 class ClientUpdate:
     """One client's upload for one round."""
 
     user_id: int
     group: str
-    embedding_delta: np.ndarray
+    embedding_delta: EmbeddingDelta
     head_deltas: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
     num_examples: int = 0
     train_loss: float = 0.0
     #: Wire cost in scalar-equivalents when the upload was compressed;
-    #: ``None`` means the dense size applies.  See :mod:`repro.compression`.
+    #: ``None`` means the uncompressed size applies.  See
+    #: :mod:`repro.compression`.
     upload_size_override: Optional[float] = None
 
     @property
     def upload_size(self) -> float:
-        """Scalar count of the upload (drives Table III accounting)."""
+        """Scalar count of the upload (drives Table III accounting).
+
+        Sparse deltas charge the true wire cost ``len(rows) * (1 + d)``;
+        dense deltas charge every scalar of the table.
+        """
         if self.upload_size_override is not None:
             return float(self.upload_size_override)
-        total = int(self.embedding_delta.size)
+        if isinstance(self.embedding_delta, SparseRowDelta):
+            total = self.embedding_delta.wire_size
+        else:
+            total = float(self.embedding_delta.size)
         for head in self.head_deltas.values():
             total += state_size(head)
         return float(total)
 
     def scaled(self, factor: float) -> "ClientUpdate":
-        """Return a copy with all deltas multiplied by ``factor``."""
+        """Return a copy with all deltas multiplied by ``factor``.
+
+        The embedding delta keeps its sparse/dense form.
+        """
         return ClientUpdate(
             user_id=self.user_id,
             group=self.group,

@@ -29,7 +29,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.federated.payload import ClientUpdate
+from repro.federated.payload import (
+    ClientUpdate,
+    EmbeddingDelta,
+    SparseRowDelta,
+    touched_rows,
+)
 
 
 @dataclass
@@ -71,11 +76,6 @@ def clip_rows(delta: np.ndarray, max_norm: float) -> np.ndarray:
     return delta * scale
 
 
-def touched_rows(delta: np.ndarray) -> np.ndarray:
-    """Indices of rows with any non-zero entry (the upload's support)."""
-    return np.flatnonzero(np.abs(delta).sum(axis=1) > 0)
-
-
 def add_pseudo_items(
     delta: np.ndarray, count: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -111,6 +111,56 @@ def gaussian_noise_like(
             for name, values in state.items()}
 
 
+def _protect_sparse_delta(
+    delta: SparseRowDelta,
+    config: PrivacyConfig,
+    sigma: float,
+    rng: np.random.Generator,
+) -> SparseRowDelta:
+    """Sparse counterpart of the dense clip → pseudo → noise pipeline.
+
+    Consumes the client RNG in exactly the dense order (pseudo-row
+    choice, fake directions, fake norms, then support noise) so a sparse
+    upload and its densified twin protect to the same values — the
+    sparse-vs-dense equivalence suite pins this.  Work is O(rows) in the
+    value blocks; only the pseudo-item *index* arithmetic touches the
+    catalogue range, with no ``width`` factor.
+    """
+    rows = delta.rows
+    values = clip_rows(delta.values, config.clip_norm)
+
+    if config.pseudo_items > 0:
+        real_pos = touched_rows(values)
+        real = rows[real_pos]
+        untouched = np.setdiff1d(np.arange(delta.num_rows), real)
+        if untouched.size and real.size:
+            chosen = rng.choice(
+                untouched, size=min(config.pseudo_items, untouched.size), replace=False
+            )
+            real_norms = np.linalg.norm(values[real_pos], axis=1)
+            fake = rng.normal(size=(chosen.size, delta.width))
+            fake /= np.maximum(np.linalg.norm(fake, axis=1, keepdims=True), 1e-12)
+            fake *= rng.choice(real_norms, size=chosen.size)[:, np.newaxis]
+
+            merged_rows = np.union1d(rows, chosen)
+            merged = np.zeros((merged_rows.size, delta.width), dtype=values.dtype)
+            merged[np.searchsorted(merged_rows, rows)] = values
+            # Assignment, not addition: the dense path overwrites the
+            # chosen rows (they are untouched, hence zero, by selection).
+            merged[np.searchsorted(merged_rows, chosen)] = fake
+            rows, values = merged_rows, merged
+        else:
+            values = values.copy()
+    else:
+        values = values.copy()
+
+    if sigma > 0:
+        support = touched_rows(values)
+        values[support] += rng.normal(0.0, sigma, size=(support.size, delta.width))
+
+    return SparseRowDelta(delta.num_rows, rows, values)
+
+
 def protect_update(
     update: ClientUpdate,
     config: PrivacyConfig,
@@ -120,15 +170,17 @@ def protect_update(
     if not config.enabled:
         return update
 
-    delta = update.embedding_delta
-    if delta.size:
+    sigma = config.noise_std * (config.clip_norm if config.clip_norm else 1.0)
+    delta: EmbeddingDelta = update.embedding_delta
+    if isinstance(delta, SparseRowDelta):
+        delta = _protect_sparse_delta(delta, config, sigma, rng)
+    elif delta.size:
         delta = clip_rows(delta, config.clip_norm)
         delta = add_pseudo_items(delta, config.pseudo_items, rng)
 
-    sigma = config.noise_std * (config.clip_norm if config.clip_norm else 1.0)
     heads = update.head_deltas
     if sigma > 0:
-        if delta.size:
+        if not isinstance(update.embedding_delta, SparseRowDelta) and delta.size:
             # Noise only on uploaded (touched + pseudo) rows: untouched
             # rows are structurally zero in the sparse upload encoding.
             support = touched_rows(delta)

@@ -37,7 +37,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.federated.aggregation import pad_columns
-from repro.federated.payload import ClientUpdate
+from repro.federated.payload import ClientUpdate, SparseRowDelta
 
 _FIELD_DTYPE = np.uint64
 
@@ -247,11 +247,19 @@ def _flatten_update(update: ClientUpdate, layout: _Layout) -> np.ndarray:
     Blocks the client did not train (wider embedding columns, heads of
     larger groups) are zero, so the masked sum equals the padded sum of
     Eq. 8 plus the per-head sums of Eq. 15.
+
+    Sparse deltas scatter their touched rows into the (unavoidably
+    dense) masked vector directly — masking needs every coordinate, so
+    the flat vector is the one place the full catalogue extent appears.
     """
     flat = np.zeros(layout.total, dtype=np.float64)
-    padded = pad_columns(update.embedding_delta, layout.embedding_width)
     cursor = layout.embedding_rows * layout.embedding_width
-    flat[:cursor] = padded.ravel()
+    delta = update.embedding_delta
+    if isinstance(delta, SparseRowDelta):
+        block = flat[:cursor].reshape(layout.embedding_rows, layout.embedding_width)
+        block[delta.rows, : delta.width] = delta.values
+    else:
+        flat[:cursor] = pad_columns(delta, layout.embedding_width).ravel()
     for head_group, name, shape in layout.head_slots:
         size = int(np.prod(shape))
         if head_group in update.head_deltas and name in update.head_deltas[head_group]:

@@ -48,7 +48,12 @@ from repro.federated.availability import (
     merge_duplicate_users,
     split_round,
 )
-from repro.federated.payload import ClientUpdate, state_delta, state_size
+from repro.federated.payload import (
+    ClientUpdate,
+    SparseRowDelta,
+    state_delta,
+    state_size,
+)
 from repro.federated.privacy import PrivacyConfig, protect_update
 from repro.federated.secure_agg import SecureAggregationConfig, secure_aggregate_updates
 from repro.federated.server_optim import ServerOptimizer, ServerOptimizerConfig
@@ -255,17 +260,48 @@ class FederatedTrainer:
     def local_training_is_base(self) -> bool:
         """Whether local sessions follow the stock protocol exactly.
 
-        The vectorized round engine fuses the *base* local objective
-        (own-group BCE); this hook reports eligibility.  The default is a
-        structural check; subclasses whose overrides are configuration-
-        gated (HeteFedRec with every component disabled is Directly
-        Aggregate) refine it.
+        "Base" means plain own-group BCE — the simplest objective the
+        vectorized round engine fuses.  The default is a structural
+        check; subclasses whose overrides are configuration-gated
+        (HeteFedRec with every component disabled is Directly Aggregate)
+        refine it.
         """
         cls = type(self)
         return (
             cls.client_loss is FederatedTrainer.client_loss
             and cls.trained_head_groups is FederatedTrainer.trained_head_groups
         )
+
+    def fused_objective(self):
+        """Declarative description of ``client_loss`` for the round engine.
+
+        Returns a :class:`~repro.federated.round_engine.FusedObjective`
+        when this trainer's local objective is one the engine knows how
+        to build as a fused batched graph — the per-width BCE tasks come
+        from :meth:`trained_head_groups`, the optional decorrelation
+        term from the returned spec — or ``None`` to force the
+        per-client reference path.  Subclasses with engine-expressible
+        custom losses (HeteFedRec's dual task) override this.
+        """
+        from repro.federated.round_engine import FusedObjective
+
+        if (
+            self.local_training_is_base()
+            and type(self).presample_ddr_rows is FederatedTrainer.presample_ddr_rows
+        ):
+            return FusedObjective()
+        return None
+
+    def presample_ddr_rows(self, user_ids: Sequence[int]):
+        """Pre-draw each client's DDR row subset for one round.
+
+        Both execution paths call this once at the start of a round, in
+        round order, making it the single site that consumes the shared
+        DDR RNG — the vectorized engine's draws therefore replay the
+        reference stream exactly.  The base protocol has no
+        decorrelation term, hence no draws.
+        """
+        return {}
 
     def client_loss(
         self, runtime: ClientRuntime, user_param: Parameter, batch: TrainingBatch
@@ -338,7 +374,9 @@ class FederatedTrainer:
 
         runtime.commit_user_embedding(user_param.data)
 
-        embedding_delta = (
+        # Emit the delta row-sparse: only rows the session actually moved
+        # (batch items, plus DDR-sampled rows under HeteFedRec) travel.
+        embedding_delta = SparseRowDelta.from_dense(
             model.item_embedding.weight.data - snapshot["embedding"]["V"]
         )
         head_deltas = {}
@@ -504,7 +542,12 @@ class FederatedTrainer:
             return []
         if self._engine is not None:
             return self._engine.train_round(users)
-        return [self.train_client(self.runtimes[u]) for u in users]
+        self.presample_ddr_rows([int(u) for u in users])
+        updates = [self.train_client(self.runtimes[u]) for u in users]
+        # Scope the presampled subsets to this round: a later direct
+        # train_client call must fall back to drawing fresh rows.
+        self.presample_ddr_rows([])
+        return updates
 
     def fit(self, evaluator: Optional[Evaluator] = None) -> TrainingHistory:
         """Run the full federated schedule, logging history per epoch."""

@@ -32,24 +32,35 @@ from repro.core.config import HeteFedRecConfig
 from repro.core.hetefedrec import HeteFedRec
 from repro.data.dataset import ClientData
 from repro.federated.aggregation import pad_columns
-from repro.federated.payload import ClientUpdate
+from repro.federated.payload import ClientUpdate, SparseRowDelta
 
 
 class ContributionLedger:
-    """Per-client record of applied public-parameter movements."""
+    """Per-client record of applied public-parameter movements.
+
+    Embedding contributions accumulate in whatever form they arrive:
+    sparse applied deltas merge sparsely (a client's ledger entry then
+    covers only the rows it ever moved), dense ones accumulate dense,
+    and a mixed history densifies once on first contact.
+    """
 
     def __init__(self) -> None:
         #: user_id → group → accumulated applied embedding delta (group width).
-        self._embeddings: Dict[int, Dict[str, np.ndarray]] = {}
+        self._embeddings: Dict[int, Dict[str, object]] = {}
         #: user_id → head_group → name → accumulated applied head delta.
         self._heads: Dict[int, Dict[str, Dict[str, np.ndarray]]] = {}
 
-    def record_embedding(self, user_id: int, group: str, applied: np.ndarray) -> None:
+    def record_embedding(self, user_id: int, group: str, applied) -> None:
         per_group = self._embeddings.setdefault(user_id, {})
-        if group in per_group:
-            per_group[group] += applied
-        else:
+        existing = per_group.get(group)
+        if existing is None:
             per_group[group] = applied.copy()
+        elif isinstance(existing, SparseRowDelta) or isinstance(
+            applied, SparseRowDelta
+        ):
+            per_group[group] = existing + applied  # sparse merge / densify
+        else:
+            existing += applied
 
     def record_head(
         self, user_id: int, head_group: str, name: str, applied: np.ndarray
@@ -120,7 +131,7 @@ class UnlearningHeteFedRec(HeteFedRec):
         embedding_mode = cfg.aggregation.embedding_mode
         contributors = np.zeros(widest, dtype=np.float64)
         for update in accepted:
-            contributors[: update.embedding_delta.shape[1]] += 1.0
+            contributors[: update.embedding_delta.shape[1]] += 1.0  # sparse too
         column_scale = (
             1.0 / np.maximum(contributors, 1.0)
             if embedding_mode == "mean"
@@ -133,12 +144,27 @@ class UnlearningHeteFedRec(HeteFedRec):
                 head_counts[head_group] = head_counts.get(head_group, 0) + 1
 
         for update in accepted:
-            padded = pad_columns(update.embedding_delta, widest)
-            scaled = padded * column_scale[np.newaxis, :] * server_lr
-            for group, width in dims.items():
-                self.ledger.record_embedding(
-                    update.user_id, group, scaled[:, :width]
+            delta = update.embedding_delta
+            if isinstance(delta, SparseRowDelta):
+                # Scale the touched-row block once at the widest width;
+                # each group's ledger entry keeps the same sparse rows.
+                scaled = (
+                    pad_columns(delta.values, widest)
+                    * column_scale[np.newaxis, :]
+                    * server_lr
                 )
+                for group, width in dims.items():
+                    self.ledger.record_embedding(
+                        update.user_id,
+                        group,
+                        SparseRowDelta(delta.num_rows, delta.rows, scaled[:, :width]),
+                    )
+            else:
+                scaled = pad_columns(delta, widest) * column_scale[np.newaxis, :] * server_lr
+                for group, width in dims.items():
+                    self.ledger.record_embedding(
+                        update.user_id, group, scaled[:, :width]
+                    )
             for head_group, state in update.head_deltas.items():
                 divisor = (
                     float(head_counts[head_group])
@@ -166,7 +192,11 @@ class UnlearningHeteFedRec(HeteFedRec):
             raise KeyError(f"user {user_id} is not an active client")
 
         for group, contribution in self.ledger.embedding_contribution(user_id).items():
-            self.models[group].item_embedding.weight.data -= contribution
+            weight = self.models[group].item_embedding.weight.data
+            if isinstance(contribution, SparseRowDelta):
+                weight[contribution.rows] -= contribution.values
+            else:
+                weight -= contribution
         for head_group, state in self.ledger.head_contribution(user_id).items():
             head = self.models[head_group].head
             for name, param in head.named_parameters():

@@ -28,7 +28,7 @@ from typing import Dict, List, Mapping, Sequence
 import numpy as np
 
 from repro.federated.aggregation import pad_columns
-from repro.federated.payload import ClientUpdate
+from repro.federated.payload import ClientUpdate, SparseRowDelta, as_dense_delta
 
 _KINDS = ("none", "clip", "median", "trimmed_mean", "krum")
 
@@ -72,7 +72,7 @@ def server_clip_updates(
     if not updates:
         return []
     norms = np.array(
-        [float(np.linalg.norm(u.embedding_delta)) for u in updates], dtype=np.float64
+        [_delta_norm(u.embedding_delta) for u in updates], dtype=np.float64
     )
     bound = float(np.median(norms)) * headroom
     if bound <= 0:
@@ -86,12 +86,26 @@ def server_clip_updates(
     return clipped
 
 
+def _delta_norm(delta) -> float:
+    """Frobenius norm of either embedding-delta form, in O(touched rows)."""
+    if isinstance(delta, SparseRowDelta):
+        return float(np.linalg.norm(delta.values))
+    return float(np.linalg.norm(delta))
+
+
 def _padded_deltas(
     updates: Sequence[ClientUpdate], widest: int
 ) -> np.ndarray:
-    """(n_clients, rows, widest) stack of zero-padded embedding deltas."""
+    """(n_clients, rows, widest) stack of zero-padded embedding deltas.
+
+    This is the one defence path that genuinely needs dense alignment:
+    per-row medians/trimmed means and Krum distances compare clients
+    coordinate-wise, so sparse uploads are densified here (and only
+    here) via the payload escape hatch.
+    """
     return np.stack(
-        [pad_columns(u.embedding_delta, widest) for u in updates], axis=0
+        [pad_columns(as_dense_delta(u.embedding_delta), widest) for u in updates],
+        axis=0,
     )
 
 

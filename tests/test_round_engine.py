@@ -171,6 +171,113 @@ class TestEngineEquivalence:
         assert counts["reference"] >= 5 * counts["vectorized"], counts
 
 
+class TestDualTaskEngineEquivalence:
+    """The widened dispatch: HeteFedRec's dual-task objective (Eq. 11),
+    with and without the DDR penalty and RESKD, must ride the engine and
+    match the per-client reference to 1e-8 — item tables, heads, user
+    embeddings, losses and eval metrics."""
+
+    def hetefedrec_pair(self, dataset, clients, evaluator=None, **overrides):
+        base = dict(
+            arch="ncf",
+            dims={"s": 8, "m": 16, "l": 32},
+            epochs=2,
+            clients_per_round=16,
+            local_epochs=2,
+            lr=0.01,
+            seed=0,
+        )
+        base.update(overrides)
+        trainers = []
+        for engine in ("reference", "vectorized"):
+            trainer = HeteFedRec(
+                dataset.num_items,
+                clients,
+                HeteFedRecConfig(engine=engine, **base),
+            )
+            trainer.fit(evaluator)
+            trainers.append(trainer)
+        return trainers
+
+    def test_full_hetefedrec(self, tiny_dataset, tiny_clients):
+        """UDL + DDR + RESKD, the paper's headline configuration, on the
+        paper's hetero dims {8, 16, 32}."""
+        evaluator = Evaluator(tiny_clients, k=10)
+        reference, vectorized = self.hetefedrec_pair(
+            tiny_dataset, tiny_clients, evaluator
+        )
+        assert reference._engine is None and vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_udl_without_ddr(self, tiny_dataset, tiny_clients):
+        reference, vectorized = self.hetefedrec_pair(
+            tiny_dataset, tiny_clients, enable_ddr=False
+        )
+        assert vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_ddr_without_udl(self, tiny_dataset, tiny_clients):
+        reference, vectorized = self.hetefedrec_pair(
+            tiny_dataset, tiny_clients, enable_udl=False
+        )
+        assert vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_full_table_ddr(self, tiny_dataset, tiny_clients):
+        """ddr_row_sample=0 regularises the whole table (the reference's
+        small-catalogue branch, which consumes no DDR RNG)."""
+        reference, vectorized = self.hetefedrec_pair(
+            tiny_dataset, tiny_clients, ddr_row_sample=0, epochs=1
+        )
+        assert vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_dual_task_mf(self, tiny_dataset, tiny_clients):
+        reference, vectorized = self.hetefedrec_pair(
+            tiny_dataset, tiny_clients, arch="mf", epochs=1
+        )
+        assert vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_dual_task_round_updates_identical(self, tiny_dataset, tiny_clients):
+        """Per-upload equality for one dual-task round: every head a
+        client trained (Θ_s through its own width) and its sparse
+        embedding delta."""
+        make = lambda engine: HeteFedRec(
+            tiny_dataset.num_items,
+            tiny_clients,
+            HeteFedRecConfig(
+                arch="ncf",
+                dims={"s": 8, "m": 16, "l": 32},
+                epochs=1,
+                clients_per_round=16,
+                local_epochs=2,
+                engine=engine,
+            ),
+        )
+        reference, vectorized = make("reference"), make("vectorized")
+        users = [c.user_id for c in tiny_clients[:12]]
+        ref_updates = reference._train_clients(users)
+        vec_updates = vectorized._train_clients(users)
+        for ref_up, vec_up in zip(ref_updates, vec_updates):
+            assert ref_up.user_id == vec_up.user_id
+            assert ref_up.group == vec_up.group
+            assert set(ref_up.head_deltas) == set(vec_up.head_deltas)
+            widths = {"s": 1, "m": 2, "l": 3}
+            assert len(ref_up.head_deltas) == widths[ref_up.group]
+            assert ref_up.train_loss == pytest.approx(vec_up.train_loss, abs=ATOL)
+            np.testing.assert_allclose(
+                np.asarray(ref_up.embedding_delta),
+                np.asarray(vec_up.embedding_delta),
+                atol=ATOL,
+            )
+            for head_group in ref_up.head_deltas:
+                for key, value in ref_up.head_deltas[head_group].items():
+                    np.testing.assert_allclose(
+                        value, vec_up.head_deltas[head_group][key], atol=ATOL
+                    )
+
+
 class TestBlockedEvaluation:
     @pytest.fixture()
     def trained(self, tiny_dataset, tiny_clients):
@@ -220,8 +327,8 @@ class TestBlockedEvaluation:
         )
 
     def test_hetefedrec_blocked_eval(self, tiny_dataset, tiny_clients):
-        """Blocked scoring is independent of training eligibility: full
-        HeteFedRec trains on the reference path but evaluates blocked."""
+        """Full HeteFedRec rides the engine for training *and* evaluates
+        blocked; the blocked scores must match the per-client hook."""
         trainer = HeteFedRec(
             tiny_dataset.num_items,
             tiny_clients,
@@ -234,7 +341,7 @@ class TestBlockedEvaluation:
             ),
         )
         trainer.run_epoch(1)
-        assert trainer._engine is None
+        assert trainer._engine is not None
         assert trainer.supports_blocked_scoring()
         evaluator = Evaluator(tiny_clients, k=10)
         per_client = evaluator.evaluate(trainer.score_all_items)
@@ -325,10 +432,34 @@ class TestDispatch:
         assert vectorized._engine is not None
         assert_equivalent(reference, vectorized)
 
-    def test_hetefedrec_overridden_hooks_fall_back(self, tiny_dataset, tiny_clients):
-        """HeteFedRec overrides client_loss/trained_head_groups, so the
-        fused BCE graph would be wrong — the reference path must win."""
-        trainer = HeteFedRec(
+    def test_full_hetefedrec_uses_engine(self, tiny_dataset, tiny_clients):
+        """The widened dispatch: every stock HeteFedRec configuration —
+        dual-task on, with or without DDR — now rides the engine."""
+        for overrides in ({}, {"enable_ddr": False}, {"enable_udl": False}):
+            trainer = HeteFedRec(
+                tiny_dataset.num_items,
+                tiny_clients,
+                HeteFedRecConfig(
+                    arch="ncf",
+                    dims={"s": 4, "m": 6, "l": 8},
+                    epochs=1,
+                    clients_per_round=8,
+                    local_epochs=1,
+                    **overrides,
+                ),
+            )
+            assert engine_supports(trainer), overrides
+            assert isinstance(trainer._engine, VectorizedRoundEngine), overrides
+
+    def test_custom_loss_subclass_falls_back(self, tiny_dataset, tiny_clients):
+        """A subclass whose loss the engine cannot express (overridden
+        client_loss / train_client) must keep the reference path."""
+
+        class CustomLoss(HeteFedRec):
+            def client_loss(self, runtime, user_param, batch):
+                return super().client_loss(runtime, user_param, batch) * 2.0
+
+        trainer = CustomLoss(
             tiny_dataset.num_items,
             tiny_clients,
             HeteFedRecConfig(
@@ -338,6 +469,28 @@ class TestDispatch:
                 clients_per_round=8,
                 local_epochs=1,
             ),
+        )
+        assert trainer.fused_objective() is None
+        assert not engine_supports(trainer)
+        assert trainer._engine is None
+
+    def test_adversarial_harness_falls_back(self, tiny_dataset, tiny_clients):
+        """AdversarialHeteFedRec wraps train_client to poison uploads —
+        the fused path would skip the poisoning, so it must not run."""
+        from repro.robustness.attacks import AttackConfig
+        from repro.robustness.harness import AdversarialHeteFedRec
+
+        trainer = AdversarialHeteFedRec(
+            tiny_dataset.num_items,
+            tiny_clients,
+            HeteFedRecConfig(
+                arch="ncf",
+                dims={"s": 4, "m": 6, "l": 8},
+                epochs=1,
+                clients_per_round=8,
+                local_epochs=1,
+            ),
+            attack=AttackConfig(kind="signflip", fraction=0.2),
         )
         assert not engine_supports(trainer)
         assert trainer._engine is None
