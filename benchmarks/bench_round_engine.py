@@ -1,14 +1,24 @@
 """Benchmark: per-client reference rounds vs. the vectorized round engine.
 
 Times one full local-training + aggregation cycle of a 256-client round
-under both execution modes for two configurations — the base protocol
-(ncf, dims {8, 16, 32}, 4 local epochs) and the full HeteFedRec method
+under both execution modes for three configurations — the base protocol
+(ncf, dims {8, 16, 32}, 4 local epochs), the full HeteFedRec method
 (unified dual-task loss + DDR + RESKD, the paper's headline Eq. 11
-objective) — plus per-client vs. blocked full-ranking evaluation, and
-records the sparse-upload wire cost against the dense-table equivalent.
-Results go to ``BENCH_round_engine.json``:
+objective) and the LightGCN backbone (batched local-graph propagation) —
+plus per-client vs. blocked full-ranking evaluation, and records the
+sparse-upload wire cost against the dense-table equivalent.  Results go
+to ``BENCH_round_engine.json``:
 
     PYTHONPATH=src python benchmarks/bench_round_engine.py
+
+``--quick`` shrinks the problem (48 clients, 400 items, 2 local epochs)
+for CI-speed runs; ``--check BENCH_round_engine.json`` compares the
+measured engine-vs-reference speedups against the committed baseline and
+exits non-zero when any falls below ``--check-tolerance`` × its baseline
+value — the CI benchmark-regression gate:
+
+    PYTHONPATH=src python benchmarks/bench_round_engine.py \
+        --quick --check BENCH_round_engine.json --out bench_fresh.json
 
 CI hooks: ``benchmarks/test_bench_round_engine.py`` (marked ``slow``,
 excluded from tier-1 by ``pytest.ini``) runs a scaled-down full check;
@@ -20,8 +30,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
-from typing import Dict
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -147,16 +158,6 @@ def run_benchmark(
         results[engine] = time_round(trainer, users_per_round)
         results[engine]["tape_nodes_per_round"] = nodes
 
-    # Evaluation: per-client full ranking vs blocked.
-    evaluator = Evaluator(clients, k=20)
-    trainer = trainers["vectorized"]
-    start = time.perf_counter()
-    per_client = evaluator.evaluate(trainer.score_all_items)
-    eval_reference_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    blocked = evaluator.evaluate_blocked(trainer.score_item_matrix)
-    eval_blocked_seconds = time.perf_counter() - start
-
     equivalence = {
         "max_abs_item_table_delta": max(
             float(
@@ -167,11 +168,34 @@ def run_benchmark(
             )
             for g in trainers["reference"].groups
         ),
-        "recall_per_client": per_client.recall,
-        "recall_blocked": blocked.recall,
-        "ndcg_per_client": per_client.ndcg,
-        "ndcg_blocked": blocked.ndcg,
     }
+
+    # Evaluation: per-client full ranking vs blocked.  LightGCN scores
+    # through each user's local graph and has no blocked path, so its
+    # entry times training only.
+    evaluation = None
+    trainer = trainers["vectorized"]
+    if trainer.supports_blocked_scoring():
+        evaluator = Evaluator(clients, k=20)
+        start = time.perf_counter()
+        per_client = evaluator.evaluate(trainer.score_all_items)
+        eval_reference_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        blocked = evaluator.evaluate_blocked(trainer.score_item_matrix)
+        eval_blocked_seconds = time.perf_counter() - start
+        evaluation = {
+            "per_client_seconds": eval_reference_seconds,
+            "blocked_seconds": eval_blocked_seconds,
+            "speedup": eval_reference_seconds / eval_blocked_seconds,
+        }
+        equivalence.update(
+            {
+                "recall_per_client": per_client.recall,
+                "recall_blocked": blocked.recall,
+                "ndcg_per_client": per_client.ndcg,
+                "ndcg_blocked": blocked.ndcg,
+            }
+        )
 
     return {
         "benchmark": "round_engine",
@@ -190,11 +214,7 @@ def run_benchmark(
         / results["vectorized"]["round_seconds"],
         "tape_node_reduction": results["reference"]["tape_nodes_per_round"]
         / max(results["vectorized"]["tape_nodes_per_round"], 1),
-        "evaluation": {
-            "per_client_seconds": eval_reference_seconds,
-            "blocked_seconds": eval_blocked_seconds,
-            "speedup": eval_reference_seconds / eval_blocked_seconds,
-        },
+        "evaluation": evaluation,
         "equivalence": equivalence,
     }
 
@@ -270,14 +290,89 @@ def run_hetefedrec_benchmark(
     }
 
 
+def collect_speedups(report: Dict) -> List[Tuple[str, float]]:
+    """The engine-vs-reference speedups a report carries, by section.
+
+    Section names carry the measured architecture (``base[ncf]``), so a
+    ``--check`` against a baseline produced with a different ``--arch``
+    skips the mismatched sections instead of gating one architecture's
+    speedup against another's floor.
+    """
+    sections = [("base", report)]
+    for key in ("hetefedrec_dual_task", "lightgcn"):
+        if key in report:
+            sections.append((key, report[key]))
+    return [
+        (
+            f"{name}[{section.get('config', {}).get('arch', 'ncf')}]",
+            float(section["speedup"]),
+        )
+        for name, section in sections
+    ]
+
+
+def check_regression(report: Dict, baseline_path: str, tolerance: float) -> bool:
+    """Compare measured speedups against a committed baseline report.
+
+    Returns ``True`` when every section's measured engine-vs-reference
+    speedup stays within the tolerance band — at least ``tolerance`` ×
+    the baseline's value.  Sections absent from the baseline (a new
+    config without a regenerated baseline yet) are reported but never
+    fail the gate.  The band is deliberately wide: CI runs ``--quick``
+    problems on shared runners, so this catches the engine *losing its
+    win* (dispatch silently falling back, a fused path regressing to
+    reference-level cost), not percent-level noise.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    baseline_speedups = dict(collect_speedups(baseline))
+    ok = True
+    for name, measured in collect_speedups(report):
+        expected = baseline_speedups.get(name)
+        if expected is None:
+            print(f"[check] {name}: {measured:.2f}x (no baseline entry, skipped)")
+            continue
+        floor = tolerance * expected
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        if measured < floor:
+            ok = False
+        print(
+            f"[check] {name}: measured {measured:.2f}x vs baseline "
+            f"{expected:.2f}x (floor {floor:.2f}x) — {verdict}"
+        )
+    return ok
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--clients", type=int, default=256)
     parser.add_argument("--items", type=int, default=3706)
     parser.add_argument("--local-epochs", type=int, default=4)
-    parser.add_argument("--arch", default="ncf", choices=["ncf", "mf"])
+    parser.add_argument("--arch", default="ncf", choices=["ncf", "mf", "lightgcn"])
     parser.add_argument("--out", default="BENCH_round_engine.json")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized problem (48 clients, 400 items, 2 local epochs)",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE_JSON",
+        help="compare measured speedups against this committed baseline "
+        "and exit non-zero on a regression",
+    )
+    parser.add_argument(
+        "--check-tolerance",
+        type=float,
+        default=0.4,
+        help="fraction of the baseline speedup each measured speedup "
+        "must reach (default: 0.4)",
+    )
     args = parser.parse_args()
+    if args.quick:
+        args.clients = min(args.clients, 48)
+        args.items = min(args.items, 400)
+        args.local_epochs = min(args.local_epochs, 2)
 
     report = run_benchmark(
         num_clients=args.clients,
@@ -291,14 +386,25 @@ def main() -> None:
         local_epochs=args.local_epochs,
         arch=args.arch,
     )
+    if args.arch == "ncf":
+        # The architecture grid's remaining backbone: LightGCN rounds
+        # through the batched local-graph propagation path.
+        report["lightgcn"] = run_benchmark(
+            num_clients=args.clients,
+            num_items=args.items,
+            local_epochs=args.local_epochs,
+            arch="lightgcn",
+        )
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
     dual = report["hetefedrec_dual_task"]
+    evaluation = report["evaluation"]
+    eval_note = f"; eval {evaluation['speedup']:.1f}x" if evaluation else ""
     print(
         f"base round: {report['reference']['round_seconds']:.2f}s → "
         f"{report['vectorized']['round_seconds']:.2f}s "
-        f"({report['speedup']:.1f}x); tape nodes ÷{report['tape_node_reduction']:.0f}; "
-        f"eval {report['evaluation']['speedup']:.1f}x"
+        f"({report['speedup']:.1f}x); tape nodes "
+        f"÷{report['tape_node_reduction']:.0f}{eval_note}"
     )
     print(
         f"hetefedrec dual-task round: {dual['reference']['round_seconds']:.2f}s → "
@@ -307,6 +413,15 @@ def main() -> None:
         f"{dual['vectorized']['upload']['mean_scalars_dense_equiv']:.0f} scalars "
         f"(÷{dual['vectorized']['upload']['reduction']:.1f}); wrote {args.out}"
     )
+    if "lightgcn" in report:
+        gcn = report["lightgcn"]
+        print(
+            f"lightgcn round: {gcn['reference']['round_seconds']:.2f}s → "
+            f"{gcn['vectorized']['round_seconds']:.2f}s ({gcn['speedup']:.1f}x); "
+            f"tape nodes ÷{gcn['tape_node_reduction']:.0f}"
+        )
+    if args.check and not check_regression(report, args.check, args.check_tolerance):
+        sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,18 @@ def test_vectorized_round_is_faster_and_equivalent():
 
 
 @pytest.mark.slow
+def test_lightgcn_round_is_faster_and_equivalent():
+    """The batched local-graph propagation must beat the per-client
+    reference, not merely match it."""
+    report = run_benchmark(
+        num_clients=64, num_items=200, local_epochs=2, arch="lightgcn"
+    )
+    assert report["speedup"] > 1.0
+    assert report["tape_node_reduction"] >= 5.0
+    assert report["equivalence"]["max_abs_item_table_delta"] < 1e-8
+
+
+@pytest.mark.slow
 def test_dual_task_round_is_faster_and_equivalent():
     report = run_hetefedrec_benchmark(num_clients=64, num_items=200, local_epochs=2)
     assert report["speedup"] > 1.0

@@ -1,13 +1,21 @@
 """Tier-1 smoke test for the round-engine benchmark script.
 
-Runs both benchmark entry points at toy scale (4 clients, 50 items, one
+Runs the benchmark entry points at toy scale (4 clients, 50 items, one
 local epoch) so ``bench_round_engine.py`` cannot silently rot between
 full (``-m slow``) runs: imports, trainer construction, both engines,
-the equivalence accounting and the upload stats all execute.  No timing
-assertions — at this scale the vectorized engine need not win.
+the equivalence accounting, the upload stats and the ``--check``
+regression gate all execute.  No timing assertions — at this scale the
+vectorized engine need not win.
 """
 
-from benchmarks.bench_round_engine import run_benchmark, run_hetefedrec_benchmark
+import json
+
+from benchmarks.bench_round_engine import (
+    check_regression,
+    collect_speedups,
+    run_benchmark,
+    run_hetefedrec_benchmark,
+)
 
 
 def test_base_benchmark_runs_at_toy_scale():
@@ -29,3 +37,42 @@ def test_hetefedrec_benchmark_runs_at_toy_scale():
     assert report["vectorized"]["upload"]["mean_scalars"] <= (
         report["vectorized"]["upload"]["mean_scalars_dense_equiv"]
     )
+
+
+def test_lightgcn_benchmark_runs_at_toy_scale():
+    """LightGCN rides the fused path end to end; it has no blocked
+    evaluation, so the report's evaluation section is empty."""
+    report = run_benchmark(num_clients=4, num_items=50, local_epochs=1, arch="lightgcn")
+    assert report["config"]["arch"] == "lightgcn"
+    assert report["equivalence"]["max_abs_item_table_delta"] < 1e-8
+    assert report["evaluation"] is None
+    assert report["vectorized"]["tape_nodes_per_round"] < (
+        report["reference"]["tape_nodes_per_round"]
+    )
+
+
+def test_check_gate_passes_and_fails(tmp_path):
+    """The --check regression gate: a report always clears its own
+    baseline, and fails one whose speedups it cannot reach."""
+    report = run_benchmark(num_clients=4, num_items=50, local_epochs=1)
+    report["lightgcn"] = run_benchmark(
+        num_clients=4, num_items=50, local_epochs=1, arch="lightgcn"
+    )
+    names = [name for name, _ in collect_speedups(report)]
+    assert names == ["base[ncf]", "lightgcn[lightgcn]"]
+
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(report))
+    assert check_regression(report, str(baseline), tolerance=0.99)
+
+    inflated = {
+        **report,
+        "speedup": report["speedup"] * 100.0,
+        "lightgcn": {**report["lightgcn"], "speedup": 1e9},
+    }
+    baseline.write_text(json.dumps(inflated))
+    assert not check_regression(report, str(baseline), tolerance=0.99)
+
+    # Sections missing from the baseline are skipped, never failed.
+    baseline.write_text(json.dumps({"speedup": report["speedup"]}))
+    assert check_regression(report, str(baseline), tolerance=0.99)

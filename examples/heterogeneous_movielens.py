@@ -6,7 +6,11 @@ Run:
 Reproduces the Table II / Fig. 6 story on one dataset: seven methods
 (HeteFedRec + six baselines), overall metrics and the per-group
 breakdown that shows *who* benefits from model-size heterogeneity.
+``--scale`` / ``--epochs`` shrink the run (the CI smoke test uses tiny
+values); the defaults reproduce the documented comparison.
 """
+
+import argparse
 
 from repro import (
     Evaluator,
@@ -25,7 +29,13 @@ EPOCHS = 12
 
 
 def main() -> None:
-    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=0.035, seed=0))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.035,
+                        help="synthetic dataset scale (fraction of paper size)")
+    parser.add_argument("--epochs", type=int, default=EPOCHS)
+    args = parser.parse_args()
+
+    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=args.scale, seed=0))
     clients = train_test_split_per_user(dataset, seed=0)
     evaluator = Evaluator(clients, k=20)
     division = divide_clients(clients, ratios=(5, 3, 2))
@@ -35,7 +45,7 @@ def main() -> None:
     rows = []
     group_rows = []
     for method in TABLE2_ORDER:
-        config = HeteFedRecConfig(epochs=EPOCHS, seed=0)
+        config = HeteFedRecConfig(epochs=args.epochs, seed=0)
         trainer = build_method(method, dataset.num_items, clients, config)
         trainer.fit()
         result = evaluator.evaluate(trainer.score_all_items)

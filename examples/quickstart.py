@@ -6,8 +6,11 @@ Run:
 Walks the shortest path through the public API: generate data, split it
 per user (one user = one federated client), train HeteFedRec, evaluate
 Recall@20 / NDCG@20, and compare against the strongest homogeneous
-baseline.
+baseline.  ``--scale`` / ``--epochs`` shrink the run (the CI smoke test
+uses tiny values); the defaults reproduce the documented walkthrough.
 """
+
+import argparse
 
 from repro import (
     Evaluator,
@@ -20,8 +23,14 @@ from repro import (
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.03,
+                        help="synthetic dataset scale (fraction of paper size)")
+    parser.add_argument("--epochs", type=int, default=10)
+    args = parser.parse_args()
+
     # 1. A scaled-down MovieLens analogue (long-tailed user activity).
-    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=0.03, seed=0))
+    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=args.scale, seed=0))
     print(f"dataset: {dataset}")
 
     # 2. Per-user 80/20 split; each user is one client.
@@ -31,7 +40,9 @@ def main() -> None:
     # 3. HeteFedRec with the paper's defaults: dims {8, 16, 32} assigned
     #    5:3:2 by data size, unified dual-task learning, decorrelation,
     #    and relation-based ensemble distillation.
-    config = HeteFedRecConfig(epochs=10, seed=0, eval_every=2)
+    config = HeteFedRecConfig(
+        epochs=args.epochs, seed=0, eval_every=max(args.epochs // 5, 1)
+    )
     trainer = build_method("hetefedrec", dataset.num_items, clients, config)
 
     print(f"client groups: {trainer.group_sizes()}")

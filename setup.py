@@ -1,10 +1,23 @@
-"""Setup shim: enables legacy editable installs in offline environments
-where the `wheel` package (needed for PEP-517 editable builds) is absent."""
+"""Packaging shim for ``pip install -e .`` — the supported install path.
+
+Metadata lives here (``pyproject.toml`` carries only the build-system
+pin and tool config) so legacy editable installs keep working in offline
+environments: run ``pip install -e . --no-build-isolation`` when the
+index is unreachable.  CI installs with plain ``pip install -e .``.
+
+Floors declared here are the single source of truth: Python >= 3.10
+(CI exercises 3.10–3.12) and numpy >= 1.23 (the only runtime
+dependency; the test/benchmark suites need nothing else).
+"""
 from setuptools import setup, find_packages
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
+    description=(
+        "HeteFedRec reproduction: heterogeneous federated recommendation "
+        "with a vectorized round engine (NCF / MF / LightGCN)"
+    ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.23"],

@@ -9,7 +9,7 @@ private embedding fresh, but their updates never enter aggregation).
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence, Set
+from typing import Optional, Sequence, Set
 
 from repro.core.grouping import divide_clients, homogeneous_assignment
 from repro.data.dataset import ClientData

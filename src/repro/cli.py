@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.baselines.registry import DISPLAY_NAMES, METHODS, build_method
 from repro.core.config import HeteFedRecConfig

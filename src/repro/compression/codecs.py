@@ -10,7 +10,7 @@ comparable inside :class:`repro.federated.communication.CommunicationMeter`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

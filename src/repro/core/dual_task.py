@@ -16,7 +16,7 @@ coherent gradients into every nested width at once.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Sequence
+from typing import List, Mapping
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.data.dataset import ClientData
 

@@ -15,7 +15,7 @@ is a configuration sweep over one class.
 
 from __future__ import annotations
 
-from typing import List, Mapping, Optional, Sequence, Set
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 

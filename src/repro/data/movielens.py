@@ -12,7 +12,6 @@ from __future__ import annotations
 import os
 from typing import Optional, Tuple
 
-import numpy as np
 
 from repro.data.dataset import InteractionDataset
 

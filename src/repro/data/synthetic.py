@@ -41,7 +41,7 @@ links can be disabled to get a plain homogeneous latent-factor dataset.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np

@@ -84,7 +84,6 @@ def auc_score(
     ranks = np.empty(candidates.size, dtype=np.float64)
     sorter = np.argsort(order, kind="stable")
     sorted_scores = order[sorter]
-    ranks_sorted = np.arange(1, candidates.size + 1, dtype=np.float64)
     unique, inverse, counts = np.unique(
         sorted_scores, return_inverse=True, return_counts=True
     )

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import comb
-from typing import Tuple
 
 import numpy as np
 

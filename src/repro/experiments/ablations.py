@@ -29,7 +29,6 @@ from __future__ import annotations
 from typing import Dict, Sequence, Tuple
 
 from repro.compression.codecs import CompressionConfig
-from repro.core.config import HeteFedRecConfig
 from repro.core.distillation import DistillationConfig
 from repro.data.splitting import train_test_split_per_user
 from repro.data.synthetic import load_benchmark_dataset

@@ -7,9 +7,8 @@ the quantitative motivation for model heterogeneity.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-import numpy as np
 
 from repro.data.stats import interaction_histogram, tail_heaviness
 from repro.data.synthetic import DATASET_SPECS, load_benchmark_dataset

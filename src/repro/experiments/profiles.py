@@ -13,8 +13,8 @@ run at three sizes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.data.synthetic import SyntheticConfig
 

@@ -16,10 +16,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.baselines.registry import build_method
 from repro.core.config import HeteFedRecConfig

@@ -45,7 +45,7 @@ def format_table1(stats: Dict[str, DatasetStatistics]) -> str:
         )
         rows.append(
             [
-                f"  (paper)",
+                "  (paper)",
                 spec.paper_users,
                 spec.paper_items,
                 spec.paper_interactions,

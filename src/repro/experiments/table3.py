@@ -13,11 +13,7 @@ from typing import Dict, List, Mapping
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
 from repro.data.synthetic import load_benchmark_dataset
-from repro.federated.communication import (
-    embedding_parameter_count,
-    head_parameter_count,
-    transmission_cost,
-)
+from repro.federated.communication import head_parameter_count, transmission_cost
 
 DEFAULT_DIMS = {"s": 8, "m": 16, "l": 32}
 
@@ -46,7 +42,6 @@ def format_table3(costs: Dict[str, Dict[str, int]]) -> str:
     rows: List[list] = []
     for group, per_method in costs.items():
         hete = per_method["hetefedrec"]
-        small = per_method["all_small"]
         overhead = hete - min(per_method["all_small"], hete)
         rows.append(
             [

@@ -12,7 +12,7 @@ from typing import Dict, List, Sequence
 
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import RunResult, run_method
+from repro.experiments.runner import run_method
 
 
 def run_table5(

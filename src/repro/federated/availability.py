@@ -25,7 +25,6 @@ import hashlib
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.federated.payload import ClientUpdate
 

@@ -12,9 +12,7 @@ model for serving without reconstructing the trainer.
 from __future__ import annotations
 
 import json
-import os
-from dataclasses import asdict
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -9,7 +9,6 @@ runtime persists only across-round private state.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

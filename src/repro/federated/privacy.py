@@ -25,7 +25,7 @@ aggregation is oblivious to whether a delta row is real or pseudo.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

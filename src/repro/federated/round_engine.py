@@ -59,11 +59,27 @@ SparseRowDelta`): the engine already knows each client's touched row
 set, so the upload is built in O(touched rows) with no per-client
 full-table materialisation.
 
+LightGCN local-graph propagation
+--------------------------------
+LightGCN's forward runs one star-graph propagation step before scoring:
+the user row absorbs the degree-normalized average of its interacted
+item rows, and interacted item rows mix with the user row.  Per client
+that is a sparse row vector (``1/|N(u)|`` over the neighbour rows)
+times its working table — so the bucket's propagation stacks the
+per-client normalized adjacency rows into one padded CSR layout
+(``(B, E)`` local indices + coefficients) and runs a single batched
+sparse–dense matmul (:func:`~repro.autograd.ops.batched_sparse_matmul`)
+per epoch, inside the tape.  The item-side mix is an ``ops.where`` over
+the precomputed interacted mask.  Propagation is coordinatewise in the
+embedding, so the full-width propagated tensors feed the zero-padded
+dual-task heads with the same exactness argument as NCF/MF
+(``model.fused_propagation()`` is the model-layer hook describing this
+stage; ``None`` means score the gathered embeddings directly).
+
 The reference path remains the correctness oracle and the fallback for
-everything the fused graph does not model: LightGCN's per-user local
-graph, and subclasses that override the local-training hooks
-(``client_loss``, ``trained_head_groups``, ``train_client``) without
-describing their objective via ``fused_objective``.
+subclasses that override the local-training hooks (``client_loss``,
+``trained_head_groups``, ``train_client``) without describing their
+objective via ``fused_objective``.
 """
 
 from __future__ import annotations
@@ -92,13 +108,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 #: Architectures whose *training* graph the engine knows how to fuse
-#: (``_task_logits`` reproduces the ScoringHead MLP+GMF structure).  This
-#: is deliberately narrower than ``BaseRecommender.batched_scoring``,
-#: which only promises inference-time ``score_matrix`` support: a new
-#: architecture needs an engine forward of its own, not just scoring.
-#: LightGCN needs each client's local interaction graph inside the
-#: forward pass and stays per-client for both.
-BATCHABLE_ARCHS = ("ncf", "mf")
+#: (``_fused_logits`` reproduces the ScoringHead MLP+GMF structure, and
+#: LightGCN's local-graph propagation batches via the model's
+#: ``fused_propagation`` descriptor).  This is independent of
+#: ``BaseRecommender.batched_scoring``, which only promises
+#: inference-time ``score_matrix`` support: a new architecture needs an
+#: engine forward of its own, not just scoring (LightGCN trains fused
+#: but still evaluates per client).
+BATCHABLE_ARCHS = ("ncf", "mf", "lightgcn")
 
 #: Marks a client with no DDR term this round (distinct from ``None``,
 #: which is a drawn full-table subset).
@@ -370,13 +387,24 @@ class VectorizedRoundEngine:
         ]
         local_epochs = cfg.local_epochs
 
-        # Per-client local row sets: batch items plus the round's
+        # Per-client local row sets: batch items, the local graph's
+        # neighbour rows when the model propagates, plus the round's
         # DDR-sampled rows.
+        propagation = model.fused_propagation()
+        neighbour_ids: List[np.ndarray] = []
         uniq_rows: List[np.ndarray] = []
         local_idx: List[List[np.ndarray]] = []
         ddr_local_idx: List[np.ndarray] = []
         for b, batches in enumerate(epoch_batches):
             parts = [batch.items for batch in batches]
+            if propagation is not None:
+                # Neighbour rows are read (and written, through the
+                # propagation gradient) every epoch; they are the batch
+                # positives, so this is normally a no-op union.
+                neighbour_ids.append(
+                    np.asarray(runtimes[b].data.train_items, dtype=np.int64)
+                )
+                parts.append(neighbour_ids[-1])
             if ddr_active:
                 parts.append(ddr_subsets[b])
             items = (
@@ -397,6 +425,25 @@ class VectorizedRoundEngine:
         )
         max_len = max(int(batch_lengths.max()), 1)
         max_rows = max(len(uniq) for uniq in uniq_rows)
+
+        # Padded CSR layout of the stacked star graphs: one normalized
+        # adjacency row per client over its working table, shared by
+        # every epoch's propagation matmul.  Clients with empty local
+        # graphs get an all-zero coefficient row plus a ``where`` that
+        # keeps their user embedding unpropagated (the reference's
+        # empty-neighbourhood limit).
+        nbr_idx = nbr_coeffs = has_neighbours = None
+        if propagation is not None:
+            nbr_counts = np.array([ids.size for ids in neighbour_ids])
+            max_nbr = max(int(nbr_counts.max()), 1)
+            nbr_idx = np.zeros((num_clients, max_nbr), dtype=np.int64)
+            nbr_coeffs = np.zeros((num_clients, max_nbr), dtype=dtype)
+            for b, ids in enumerate(neighbour_ids):
+                if ids.size:
+                    nbr_idx[b, : ids.size] = np.searchsorted(uniq_rows[b], ids)
+                    nbr_coeffs[b, : ids.size] = 1.0 / ids.size
+            if not nbr_counts.all():
+                has_neighbours = (nbr_counts > 0).reshape(num_clients, 1)
 
         # Stacked working tables, user matrix and replicated heads.  The
         # dual-task widths fuse into one (T, B, ...) head stack with
@@ -478,6 +525,11 @@ class VectorizedRoundEngine:
             idx = np.zeros((num_clients, max_len), dtype=np.int64)
             labels = np.zeros((num_clients, max_len), dtype=dtype)
             weights = np.zeros((num_clients, max_len), dtype=dtype)
+            interacted = (
+                np.zeros((num_clients, max_len), dtype=bool)
+                if propagation is not None
+                else None
+            )
             for b, batches in enumerate(epoch_batches):
                 if not batches:
                     continue
@@ -485,13 +537,29 @@ class VectorizedRoundEngine:
                 idx[b, :length] = local_idx[b][epoch]
                 labels[b, :length] = batches[epoch].labels
                 weights[b, :length] = 1.0 / max(length, 1)
+                if interacted is not None:
+                    interacted[b, :length] = np.isin(
+                        batches[epoch].items, neighbour_ids[b]
+                    )
 
             optimizer.zero_grad()
             item_vecs = ops.batched_gather(table_param, idx)
             mask = weights > 0
+            if propagation is not None:
+                user_vecs, item_vecs = self._propagate(
+                    table_param,
+                    user_param,
+                    item_vecs,
+                    nbr_idx,
+                    nbr_coeffs,
+                    has_neighbours,
+                    interacted,
+                )
+            else:
+                user_vecs = user_param
 
             elementwise = ops.bce_with_logits(
-                self._fused_logits(model, user_param, item_vecs, head_stacks, dim),
+                self._fused_logits(model, user_vecs, item_vecs, head_stacks, dim),
                 labels,
                 reduction="none",
             )
@@ -532,10 +600,41 @@ class VectorizedRoundEngine:
             per_client_loss,
         )
 
+    def _propagate(
+        self,
+        table_param: Parameter,
+        user_param: Parameter,
+        item_vecs,
+        nbr_idx: np.ndarray,
+        nbr_coeffs: np.ndarray,
+        has_neighbours: Optional[np.ndarray],
+        interacted: np.ndarray,
+    ):
+        """One star-graph propagation step for the whole bucket.
+
+        The batched form of ``LightGCN._score``'s local propagation:
+        every user row absorbs its degree-normalized neighbourhood
+        average through a single padded sparse–dense matmul over the
+        stacked working tables, and interacted batch positions mix with
+        their client's (un-propagated) user row.  Runs inside the tape,
+        so gradients flow back through the neighbourhood average into
+        the item rows exactly as in the per-client reference.
+        """
+        num_clients, dim = user_param.shape
+        nbr_mean = ops.batched_sparse_matmul(table_param, nbr_idx, nbr_coeffs)
+        user_vecs = (user_param + nbr_mean) * 0.5
+        if has_neighbours is not None:
+            user_vecs = ops.where(has_neighbours, user_vecs, user_param)
+        user_rows = user_param.reshape(num_clients, 1, dim)
+        item_prop = ops.where(
+            interacted[:, :, None], (item_vecs + user_rows) * 0.5, item_vecs
+        )
+        return user_vecs, item_prop
+
     def _fused_logits(
         self,
         model,
-        user_param,
+        user_vecs,
         item_vecs,
         head_stacks: Dict[str, Parameter],
         dim: int,
@@ -545,16 +644,17 @@ class VectorizedRoundEngine:
         ``head_stacks`` replicates every task's head per client, zero-
         padded to the group width ``dim`` (see ``_pad_head_value``), so
         the full-width user/item operands drive every width's exact
-        logits through single broadcasted kernels.  The user embedding
-        is kept as a (1, B, d, 1) operand throughout — the GMF weight is
-        folded into it (``(u⊙v)·w = v·(u⊙w)``) and the first FFN layer's
-        ``[u, v]`` GEMM is split into a user term and an item term — so
-        no (B, L, d) user broadcast or (B, L, 2d) concat is ever
-        materialised.
+        logits through single broadcasted kernels.  ``user_vecs`` is the
+        stacked user parameter (or, for LightGCN, its propagated form);
+        it is kept as a (1, B, d, 1) operand throughout — the GMF weight
+        is folded into it (``(u⊙v)·w = v·(u⊙w)``) and the first FFN
+        layer's ``[u, v]`` GEMM is split into a user term and an item
+        term — so no (B, L, d) user broadcast or (B, L, 2d) concat is
+        ever materialised.
         """
         num_clients, max_len = item_vecs.shape[0], item_vecs.shape[1]
         num_tasks = head_stacks["gmf.weight"].shape[0]
-        user_col = user_param.reshape(1, num_clients, dim, 1)
+        user_col = user_vecs.reshape(1, num_clients, dim, 1)
 
         gmf_weight = user_col * head_stacks["gmf.weight"]
         logits = item_vecs.matmul(gmf_weight).reshape(
@@ -568,7 +668,7 @@ class VectorizedRoundEngine:
             if isinstance(layer, Linear):
                 weight = head_stacks[f"ffn.layer{position}.weight"]
                 if z is None:
-                    user_term = user_param.reshape(1, num_clients, 1, dim).matmul(
+                    user_term = user_vecs.reshape(1, num_clients, 1, dim).matmul(
                         weight[:, :, :dim, :]
                     )
                     z = item_vecs.matmul(weight[:, :, dim:, :]) + user_term

@@ -22,11 +22,10 @@ clients move small payloads, cutting the straggler tail.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.federated.communication import head_parameter_count
 
 #: Scalar size on the wire, bytes (float32).
 BYTES_PER_SCALAR = 4

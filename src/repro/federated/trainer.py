@@ -25,7 +25,7 @@ same global snapshot and updates are aggregated at the end of the round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -62,7 +62,7 @@ from repro.compression.codecs import CompressionConfig
 from repro.models.factory import build_model
 from repro.nn import init as nn_init
 from repro.nn.module import Parameter
-from repro.nn.optim import Adam, SGD
+from repro.nn.optim import Adam
 
 
 @dataclass

@@ -203,6 +203,18 @@ class BaseRecommender(Module):
     ) -> Tensor:
         raise NotImplementedError
 
+    def fused_propagation(self):
+        """Engine hook: batchable description of any pre-scoring propagation.
+
+        The counterpart of ``FederatedTrainer.fused_objective`` at the
+        model layer: architectures whose ``_score`` runs a message-passing
+        stage over per-client local graphs (LightGCN) return a descriptor
+        the vectorized round engine can execute as one padded multi-client
+        operation; ``None`` (the default) means scoring consumes the
+        gathered embeddings directly and no propagation stage is needed.
+        """
+        return None
+
     def score_matrix(
         self,
         user_mat: np.ndarray,

@@ -17,6 +17,7 @@ back through the neighbourhood average into the item table.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -26,10 +27,35 @@ from repro.autograd.tensor import Tensor
 from repro.models.base import BaseRecommender, ScoringHead, tile_user
 
 
+@dataclass(frozen=True)
+class LocalGraphPropagation:
+    """Batchable description of the star-graph propagation in ``_score``.
+
+    The client-local graph is star-shaped (the user node joined to its
+    ``train_item_ids``), so each of the ``layers`` propagation steps is
+    fully described by the normalized adjacency of that star:
+
+    * the user row is the degree-normalized neighbourhood average — a
+      sparse row vector ``1/|N(u)|`` over the neighbour item rows, which
+      the engine stacks across clients into one padded CSR layout and
+      applies as a single batched sparse–dense matmul;
+    * interacted item rows mix with the user row elementwise.
+
+    Both steps are coordinatewise in the embedding, so running them at
+    the full group width and letting the zero-padded heads annihilate
+    the ``≥ w`` coordinates reproduces every dual-task width's
+    propagation exactly (same argument as the padded-head logits).
+    """
+
+
 class LightGCN(BaseRecommender):
     """One-layer local-graph LightGCN propagation + FFN scoring head."""
 
     arch = "lightgcn"
+
+    def fused_propagation(self) -> LocalGraphPropagation:
+        """The engine-executable form of this model's local propagation."""
+        return LocalGraphPropagation()
 
     def _score(
         self,

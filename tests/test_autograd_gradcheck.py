@@ -82,6 +82,16 @@ def test_gather_gradients():
     assert gradcheck(lambda w: (ops.gather(w, idx).sigmoid()).sum(), [w])
 
 
+def test_batched_sparse_matmul_gradients():
+    """The padded-CSR propagation matmul, duplicates and padding included."""
+    w = make((2, 5, 3), seed=21)
+    idx = np.array([[0, 2, 2, 4], [1, 3, 0, 0]])
+    coeffs = np.array([[0.25, 0.25, 0.5, 0.0], [0.5, 0.5, 0.0, 0.0]])
+    assert gradcheck(
+        lambda w: ops.batched_sparse_matmul(w, idx, coeffs).sigmoid().sum(), [w]
+    )
+
+
 def test_where_gradients():
     a = make((3, 3), seed=8)
     b = make((3, 3), seed=9)

@@ -222,3 +222,69 @@ class TestBatchedGather:
     def test_rejects_bad_shapes(self):
         with pytest.raises(ValueError):
             ops.batched_gather(Tensor(np.zeros((2, 3))), np.zeros((2, 2), dtype=int))
+
+
+class TestBatchedSparseMatmul:
+    """The round engine's padded-CSR propagation primitive."""
+
+    def test_forward_is_weighted_row_sum(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(2, 5, 3))
+        idx = np.array([[0, 2, 4], [1, 1, 3]])
+        coeffs = np.array([[0.5, 0.25, 0.25], [1.0, -1.0, 2.0]])
+        out = ops.batched_sparse_matmul(Tensor(weight), idx, coeffs)
+        for b in range(2):
+            expected = coeffs[b] @ weight[b][idx[b]]
+            np.testing.assert_allclose(out.data[b], expected)
+
+    def test_zero_coefficient_padding_is_inert(self):
+        """Padded entries carry coefficient 0 and may point anywhere:
+        they must contribute neither value nor gradient."""
+        weight = Tensor(np.ones((1, 4, 2)), requires_grad=True)
+        idx = np.array([[1, 3, 0]])
+        coeffs = np.array([[0.5, 0.5, 0.0]])
+        out = ops.batched_sparse_matmul(weight, idx, coeffs)
+        np.testing.assert_allclose(out.data, [[1.0, 1.0]])
+        out.sum().backward()
+        assert np.all(weight.grad[0, 0] == 0.0)
+        np.testing.assert_allclose(weight.grad[0, 1], [0.5, 0.5])
+
+    def test_duplicate_indices_accumulate(self):
+        weight = Tensor(np.zeros((1, 3, 2)), requires_grad=True)
+        idx = np.array([[1, 1, 0]])
+        coeffs = np.array([[2.0, 3.0, 1.0]])
+        ops.batched_sparse_matmul(weight, idx, coeffs).sum().backward()
+        np.testing.assert_allclose(weight.grad[0, :, 0], [1.0, 5.0, 0.0])
+
+    def test_matches_gather_mean(self):
+        """With coefficients 1/n this is exactly the neighbourhood mean
+        LightGCN's reference path computes per client."""
+        rng = np.random.default_rng(2)
+        weight = rng.normal(size=(1, 8, 4))
+        neighbours = np.array([0, 3, 5])
+        idx = neighbours[np.newaxis]
+        coeffs = np.full((1, 3), 1.0 / 3.0)
+        out = ops.batched_sparse_matmul(Tensor(weight), idx, coeffs)
+        np.testing.assert_allclose(
+            out.data[0], weight[0][neighbours].mean(axis=0), atol=1e-12
+        )
+
+    def test_gradcheck(self):
+        from repro.autograd.gradcheck import gradcheck
+
+        rng = np.random.default_rng(3)
+        weight = Tensor(rng.normal(size=(2, 6, 3)), requires_grad=True)
+        idx = rng.integers(0, 6, size=(2, 4))
+        coeffs = rng.normal(size=(2, 4))
+        assert gradcheck(
+            lambda w: (ops.batched_sparse_matmul(w, idx, coeffs) ** 2).sum(),
+            [weight],
+        )
+
+    def test_rejects_misaligned_shapes(self):
+        with pytest.raises(ValueError):
+            ops.batched_sparse_matmul(
+                Tensor(np.zeros((2, 3, 2))),
+                np.zeros((2, 2), dtype=int),
+                np.zeros((2, 3)),
+            )

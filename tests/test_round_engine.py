@@ -102,6 +102,42 @@ class TestEngineEquivalence:
         )
         assert_equivalent(reference, vectorized)
 
+    def test_heterogeneous_lightgcn(self, tiny_dataset, tiny_clients):
+        """LightGCN's local-graph propagation batched as one padded
+        sparse–dense matmul per epoch: states, losses and (per-client)
+        eval metrics must match the reference to 1e-8."""
+        group_of = divide_clients(tiny_clients)
+        evaluator = Evaluator(tiny_clients, k=10)
+        reference, vectorized = fitted_pair(
+            tiny_dataset, tiny_clients, group_of, evaluator, arch="lightgcn"
+        )
+        assert vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_lightgcn_round_updates_identical(self, tiny_dataset, tiny_clients):
+        """Per-upload equality for one LightGCN round: sparse embedding
+        deltas (which include the propagated neighbour rows) and heads."""
+        group_of = divide_clients(tiny_clients)
+        make = lambda engine: FederatedTrainer(
+            tiny_dataset.num_items,
+            tiny_clients,
+            group_of,
+            small_config(engine=engine, arch="lightgcn"),
+        )
+        reference, vectorized = make("reference"), make("vectorized")
+        users = [c.user_id for c in tiny_clients[:10]]
+        ref_updates = reference._train_clients(users)
+        vec_updates = vectorized._train_clients(users)
+        for ref_up, vec_up in zip(ref_updates, vec_updates):
+            assert ref_up.user_id == vec_up.user_id
+            assert ref_up.num_examples == vec_up.num_examples
+            assert ref_up.train_loss == pytest.approx(vec_up.train_loss, abs=ATOL)
+            np.testing.assert_allclose(
+                np.asarray(ref_up.embedding_delta),
+                np.asarray(vec_up.embedding_delta),
+                atol=ATOL,
+            )
+
     def test_with_privacy_protection(self, tiny_dataset, tiny_clients):
         """Client-side clipping/noise runs after training on the client's
         own RNG, so the protected uploads must also match."""
@@ -235,6 +271,24 @@ class TestDualTaskEngineEquivalence:
     def test_dual_task_mf(self, tiny_dataset, tiny_clients):
         reference, vectorized = self.hetefedrec_pair(
             tiny_dataset, tiny_clients, arch="mf", epochs=1
+        )
+        assert vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_full_hetefedrec_lightgcn(self, tiny_dataset, tiny_clients):
+        """UDL + DDR + RESKD on LightGCN — the last architecture outside
+        the fast path: the propagated multi-width logits and the DDR
+        penalty must all fuse and match the reference."""
+        evaluator = Evaluator(tiny_clients, k=10)
+        reference, vectorized = self.hetefedrec_pair(
+            tiny_dataset, tiny_clients, evaluator, arch="lightgcn"
+        )
+        assert reference._engine is None and vectorized._engine is not None
+        assert_equivalent(reference, vectorized)
+
+    def test_lightgcn_udl_without_ddr(self, tiny_dataset, tiny_clients):
+        reference, vectorized = self.hetefedrec_pair(
+            tiny_dataset, tiny_clients, arch="lightgcn", enable_ddr=False, epochs=1
         )
         assert vectorized._engine is not None
         assert_equivalent(reference, vectorized)
@@ -379,22 +433,43 @@ class TestDispatch:
         )
         assert isinstance(trainer._engine, VectorizedRoundEngine)
 
-    def test_auto_falls_back_for_lightgcn(self, tiny_dataset, tiny_clients):
+    def test_auto_uses_engine_for_lightgcn(self, tiny_dataset, tiny_clients):
+        """Since the batched propagation landed, LightGCN — base and
+        dual-task HeteFedRec — dispatches to the fused path too."""
         trainer = FederatedTrainer(
             tiny_dataset.num_items,
             tiny_clients,
             divide_clients(tiny_clients),
             small_config(arch="lightgcn"),
         )
-        assert trainer._engine is None
+        assert isinstance(trainer._engine, VectorizedRoundEngine)
+        hete = HeteFedRec(
+            tiny_dataset.num_items,
+            tiny_clients,
+            HeteFedRecConfig(
+                arch="lightgcn",
+                dims={"s": 4, "m": 6, "l": 8},
+                epochs=1,
+                clients_per_round=8,
+                local_epochs=1,
+            ),
+        )
+        assert isinstance(hete._engine, VectorizedRoundEngine)
 
-    def test_vectorized_on_lightgcn_raises(self, tiny_dataset, tiny_clients):
+    def test_vectorized_on_custom_loss_raises(self, tiny_dataset, tiny_clients):
+        """engine='vectorized' must refuse trainers whose objective the
+        engine cannot express, instead of silently falling back."""
+
+        class CustomLoss(FederatedTrainer):
+            def client_loss(self, runtime, user_param, batch):
+                return super().client_loss(runtime, user_param, batch) * 2.0
+
         with pytest.raises(ValueError):
-            FederatedTrainer(
+            CustomLoss(
                 tiny_dataset.num_items,
                 tiny_clients,
                 divide_clients(tiny_clients),
-                small_config(arch="lightgcn", engine="vectorized"),
+                small_config(engine="vectorized"),
             )
 
     def test_unknown_engine_mode_rejected(self, tiny_dataset, tiny_clients):
