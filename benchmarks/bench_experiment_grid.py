@@ -1,0 +1,264 @@
+"""Benchmark: serial vs. parallel execution of an experiment-run grid.
+
+Executes a reduced version of the reproduction suite's overlapping
+consumer grids — Table II, Fig. 6, Fig. 7 and Table VI's homogeneous
+brackets all request runs from one shared pool — through
+:func:`repro.experiments.runner.run_grid` in three configurations:
+
+* ``legacy serial``  — one ``run_method`` call per requested spec with
+  the per-process dataset memo cleared between calls: the pre-executor
+  execution model (duplicates resolve through the result cache, every
+  run regenerates its dataset);
+* ``serial``         — ``run_grid(jobs=1)``: pre-dispatch dedup plus
+  dataset memoization, single process;
+* ``parallel``       — ``run_grid(jobs=N)``: the same, with cache
+  misses fanned out over a ``ProcessPoolExecutor``.
+
+Each arm starts from a cold, private cache directory; the parallel
+results are asserted bitwise-identical to the serial ones (training is
+deterministic in the spec), and a warm-cache replay is timed to show the
+hit path.  Results go to ``BENCH_experiment_grid.json``:
+
+    PYTHONPATH=src python benchmarks/bench_experiment_grid.py --jobs 4
+
+The parallel speedup scales with cores (the grid is embarrassingly
+parallel across training runs); ``cpu_count`` is recorded alongside so a
+baseline from a small container is interpretable.  ``--quick`` shrinks
+the grid for CI; ``--check BASELINE`` compares the measured speedups
+against a committed baseline and exits non-zero when one falls below
+``--check-tolerance`` × its baseline value — on single-core machines the
+parallel floor is skipped (it cannot be expressed), while result
+equality is always enforced:
+
+    PYTHONPATH=src python benchmarks/bench_experiment_grid.py \
+        --quick --check BENCH_experiment_grid.json --out bench_grid_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import asdict
+from typing import Dict, List, Tuple
+
+import repro.experiments.runner as runner
+from repro.experiments.profiles import ExperimentProfile
+from repro.experiments.runner import RunSpec, run_grid, run_spec
+
+#: Reduced-suite profiles: small enough for a bench run, big enough that
+#: a training run dominates process-pool dispatch overhead.
+GRID_PROFILE = ExperimentProfile(
+    name="grid-bench", scale=0.03, item_scale=0.10, epochs=6,
+    clients_per_round=128, local_epochs=2,
+)
+QUICK_PROFILE = ExperimentProfile(
+    name="grid-quick", scale=0.015, item_scale=0.05, epochs=2,
+    clients_per_round=64, local_epochs=1,
+)
+
+METHODS = ("all_small", "all_large", "hetefedrec")
+
+
+def build_grid(profile: ExperimentProfile, datasets: Tuple[str, ...]) -> List[RunSpec]:
+    """The overlapping consumer grids of the reduced suite, duplicates kept.
+
+    Mirrors how the real suite requests runs: Table II declares the full
+    method × dataset block, Fig. 6 re-requests the same runs for group
+    metrics, Fig. 7 re-requests the MovieLens column for curves, and
+    Table VI re-requests the homogeneous brackets.  ``run_grid`` must
+    collapse all of it to one training job per unique spec.
+    """
+    table2 = [
+        RunSpec(dataset, method, arch="ncf", profile=profile)
+        for dataset in datasets
+        for method in METHODS
+    ]
+    fig6 = list(table2)  # same runs, group-metric consumer
+    fig7 = [
+        RunSpec(datasets[0], method, arch="ncf", profile=profile)
+        for method in METHODS
+    ]
+    table6_brackets = [
+        RunSpec(dataset, method, arch="ncf", profile=profile)
+        for dataset in datasets
+        for method in ("all_small", "all_large")
+    ]
+    return table2 + fig6 + fig7 + table6_brackets
+
+
+def _fresh_cache(base: str, name: str) -> str:
+    path = os.path.join(base, name)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def run_benchmark(jobs: int, quick: bool = False) -> Dict:
+    profile = QUICK_PROFILE if quick else GRID_PROFILE
+    datasets = ("ml",) if quick else ("ml", "anime")
+    specs = build_grid(profile, datasets)
+    unique = len({spec.key() for spec in specs})
+
+    original_cache = runner.CACHE_DIR
+    scratch = tempfile.mkdtemp(prefix="bench_grid_")
+    try:
+        # Legacy serial: spec-at-a-time through the cache, dataset memo
+        # cleared per call (every run regenerates its dataset).
+        runner.CACHE_DIR = _fresh_cache(scratch, "legacy")
+        start = time.perf_counter()
+        for spec in specs:
+            runner._DATASET_MEMO.clear()
+            run_spec(spec)
+        legacy_seconds = time.perf_counter() - start
+
+        # Executor, serial: dedup + memo, one process.
+        runner.CACHE_DIR = _fresh_cache(scratch, "serial")
+        runner._DATASET_MEMO.clear()
+        start = time.perf_counter()
+        serial_results = run_grid(specs, jobs=1)
+        serial_seconds = time.perf_counter() - start
+
+        # Executor, parallel: misses fan out over the process pool.
+        runner.CACHE_DIR = _fresh_cache(scratch, "parallel")
+        runner._DATASET_MEMO.clear()
+        start = time.perf_counter()
+        parallel_results = run_grid(specs, jobs=jobs)
+        parallel_seconds = time.perf_counter() - start
+
+        identical = all(
+            asdict(serial_results[spec]) == asdict(parallel_results[spec])
+            for spec in specs
+        )
+
+        # Warm replay on the parallel arm's cache: pure hit path.
+        start = time.perf_counter()
+        run_grid(specs, jobs=jobs)
+        replay_seconds = time.perf_counter() - start
+    finally:
+        runner.CACHE_DIR = original_cache
+        runner._DATASET_MEMO.clear()
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    return {
+        "benchmark": "experiment_grid",
+        "config": {
+            "profile": profile.name,
+            "scale": profile.scale,
+            "item_scale": profile.item_scale,
+            "epochs": profile.epochs,
+            "datasets": list(datasets),
+            "methods": list(METHODS),
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+        },
+        "grid": {
+            "requested_specs": len(specs),
+            "unique_specs": unique,
+            "dedup_factor": len(specs) / unique,
+        },
+        "legacy_serial_seconds": legacy_seconds,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "cache_replay_seconds": replay_seconds,
+        # run_grid(jobs=N) against single-process executor and against the
+        # pre-executor suite loop.  Both scale with available cores.
+        "speedup": serial_seconds / parallel_seconds,
+        "suite_speedup": legacy_seconds / parallel_seconds,
+        "bitwise_identical": identical,
+    }
+
+
+def collect_speedups(report: Dict) -> List[Tuple[str, float]]:
+    return [
+        ("parallel_vs_serial", float(report["speedup"])),
+        ("parallel_vs_legacy", float(report["suite_speedup"])),
+    ]
+
+
+def check_regression(report: Dict, baseline_path: str, tolerance: float) -> bool:
+    """Gate a fresh report against a committed baseline.
+
+    Result equality (``bitwise_identical``) is a hard requirement.  The
+    speedup floors mirror the round-engine gate — at least ``tolerance``
+    × the baseline value — but are skipped when the measuring machine
+    has a single core, where process parallelism cannot be expressed.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    ok = True
+    if not report["bitwise_identical"]:
+        print("[check] bitwise_identical: FAILED — parallel results diverged")
+        ok = False
+    else:
+        print("[check] bitwise_identical: ok")
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print(f"[check] {cores} core(s): parallel speedup floors skipped")
+        return ok
+    baseline_speedups = dict(collect_speedups(baseline))
+    for name, measured in collect_speedups(report):
+        expected = baseline_speedups.get(name)
+        if expected is None:
+            print(f"[check] {name}: {measured:.2f}x (no baseline entry, skipped)")
+            continue
+        floor = tolerance * expected
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        if measured < floor:
+            ok = False
+        print(
+            f"[check] {name}: measured {measured:.2f}x vs baseline "
+            f"{expected:.2f}x (floor {floor:.2f}x) — {verdict}"
+        )
+    return ok
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_experiment_grid.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized grid (one dataset, two epochs)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE_JSON",
+        help="compare measured speedups/equality against this committed "
+        "baseline and exit non-zero on a regression",
+    )
+    parser.add_argument(
+        "--check-tolerance", type=float, default=0.4,
+        help="fraction of the baseline speedup each measured speedup "
+        "must reach (default: 0.4)",
+    )
+    args = parser.parse_args()
+
+    report = run_benchmark(jobs=args.jobs, quick=args.quick)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    grid = report["grid"]
+    print(
+        f"grid: {grid['requested_specs']} requested → {grid['unique_specs']} "
+        f"unique (dedup ÷{grid['dedup_factor']:.2f}) on "
+        f"{report['config']['cpu_count']} core(s)"
+    )
+    print(
+        f"legacy serial {report['legacy_serial_seconds']:.2f}s | executor "
+        f"serial {report['serial_seconds']:.2f}s | parallel(jobs="
+        f"{report['config']['jobs']}) {report['parallel_seconds']:.2f}s | "
+        f"warm replay {report['cache_replay_seconds']:.3f}s"
+    )
+    print(
+        f"speedup {report['speedup']:.2f}x vs serial executor, "
+        f"{report['suite_speedup']:.2f}x vs legacy loop; bitwise identical: "
+        f"{report['bitwise_identical']}; wrote {args.out}"
+    )
+    if args.check and not check_regression(report, args.check, args.check_tolerance):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -170,9 +170,9 @@ def run_benchmark(
         ),
     }
 
-    # Evaluation: per-client full ranking vs blocked.  LightGCN scores
-    # through each user's local graph and has no blocked path, so its
-    # entry times training only.
+    # Evaluation: per-client full ranking vs blocked.  All three stock
+    # archs support blocked scoring (LightGCN's local-graph propagation
+    # batches through score_matrix's train_items argument).
     evaluation = None
     trainer = trainers["vectorized"]
     if trainer.supports_blocked_scoring():

@@ -1,0 +1,43 @@
+"""Tier-1 smoke test for the experiment-grid benchmark script.
+
+Runs the grid benchmark at quick scale with a 2-worker pool so
+``bench_experiment_grid.py`` cannot silently rot between full runs:
+grid construction, all three execution arms, the bitwise-equality
+accounting and the ``--check`` gate all execute.  No timing assertions —
+on small machines the pool need not win.
+"""
+
+import json
+
+from benchmarks.bench_experiment_grid import (
+    build_grid,
+    check_regression,
+    run_benchmark,
+    QUICK_PROFILE,
+)
+
+
+def test_grid_has_cross_consumer_overlap():
+    specs = build_grid(QUICK_PROFILE, ("ml",))
+    unique = len({spec.key() for spec in specs})
+    assert len(specs) > unique  # dedup is load-bearing for the bench
+    assert unique >= 2
+
+
+def test_quick_benchmark_runs(tmp_path):
+    report = run_benchmark(jobs=2, quick=True)
+    assert report["bitwise_identical"] is True
+    assert report["grid"]["dedup_factor"] > 1.0
+    assert report["serial_seconds"] > 0
+    assert report["parallel_seconds"] > 0
+    # The warm replay is pure cache hits — far below a training pass.
+    assert report["cache_replay_seconds"] < report["parallel_seconds"]
+
+    # The gate clears its own baseline...
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(report))
+    assert check_regression(report, str(baseline), tolerance=0.4)
+
+    # ...and result divergence always fails it, regardless of cores.
+    broken = dict(report, bitwise_identical=False)
+    assert not check_regression(broken, str(baseline), tolerance=0.4)

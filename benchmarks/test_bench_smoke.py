@@ -10,6 +10,8 @@ vectorized engine need not win.
 
 import json
 
+import pytest
+
 from benchmarks.bench_round_engine import (
     check_regression,
     collect_speedups,
@@ -40,12 +42,22 @@ def test_hetefedrec_benchmark_runs_at_toy_scale():
 
 
 def test_lightgcn_benchmark_runs_at_toy_scale():
-    """LightGCN rides the fused path end to end; it has no blocked
-    evaluation, so the report's evaluation section is empty."""
+    """LightGCN rides the fused path end to end, training *and*
+    evaluation: blocked scoring batches the star-graph propagation, so
+    the report's evaluation section is populated like the other archs."""
     report = run_benchmark(num_clients=4, num_items=50, local_epochs=1, arch="lightgcn")
     assert report["config"]["arch"] == "lightgcn"
     assert report["equivalence"]["max_abs_item_table_delta"] < 1e-8
-    assert report["evaluation"] is None
+    assert report["evaluation"] is not None
+    assert report["evaluation"]["blocked_seconds"] > 0
+    # Blocked and per-client evaluation must agree on the metrics (to
+    # floating-point summation order, the evaluator's documented bound).
+    assert report["equivalence"]["recall_blocked"] == pytest.approx(
+        report["equivalence"]["recall_per_client"], abs=1e-12
+    )
+    assert report["equivalence"]["ndcg_blocked"] == pytest.approx(
+        report["equivalence"]["ndcg_per_client"], abs=1e-12
+    )
     assert report["vectorized"]["tape_nodes_per_round"] < (
         report["reference"]["tape_nodes_per_round"]
     )

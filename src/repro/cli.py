@@ -85,7 +85,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import run_all
 
     written = run_all(profile=args.profile, out_dir=args.out,
-                      archs=tuple(args.archs))
+                      archs=tuple(args.archs), jobs=args.jobs)
     print(f"wrote {len(written)} artefacts to {args.out}/")
     return 0
 
@@ -153,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument("--profile", default="bench")
     exp_parser.add_argument("--out", default="results")
     exp_parser.add_argument("--archs", nargs="+", default=["ncf"])
+    exp_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the deduped training grid "
+        "(default: serial; cache misses fan out over N processes)",
+    )
     exp_parser.set_defaults(func=_cmd_experiments)
 
     methods_parser = subparsers.add_parser("methods", help="list available methods")

@@ -146,6 +146,26 @@ class SyntheticConfig:
     seed: int = 0
 
 
+def _universe_sizes(spec: DatasetSpec, config: SyntheticConfig) -> tuple:
+    """(num_users, num_items) the generator produces for ``spec``/``config``."""
+    num_users = max(int(round(spec.paper_users * config.scale)), 20)
+    num_items = max(int(round(spec.paper_items * config.item_scale)), 40)
+    return num_users, num_items
+
+
+def catalogue_size(name: str, config: Optional[SyntheticConfig] = None) -> int:
+    """Catalogue size |V| of a benchmark dataset — without generating it.
+
+    Analytic consumers (Table III's transmission-cost formulas) need only
+    the item-universe size, which is a pure function of the spec and the
+    scaling config; generating the interactions for it would be waste.
+    """
+    key = name.lower()
+    if key not in DATASET_SPECS:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(DATASET_SPECS)}")
+    return _universe_sizes(DATASET_SPECS[key], config or SyntheticConfig())[1]
+
+
 def _lognormal_counts(
     rng: np.random.Generator,
     num_users: int,
@@ -173,8 +193,7 @@ def generate_dataset(
     name_code = zlib.crc32(spec.name.encode("utf-8")) % (2**16)
     rng = np.random.default_rng(config.seed + name_code)
 
-    num_users = max(int(round(spec.paper_users * config.scale)), 20)
-    num_items = max(int(round(spec.paper_items * config.item_scale)), 40)
+    num_users, num_items = _universe_sizes(spec, config)
 
     # --- latent preference structure -------------------------------------
     k = config.latent_dim

@@ -14,13 +14,15 @@ Table VII → :mod:`table7`; Fig. 8 → :mod:`fig8`.
 """
 
 from repro.experiments.profiles import PROFILES, ExperimentProfile
-from repro.experiments.runner import RunResult, run_method
+from repro.experiments.runner import RunResult, RunSpec, run_grid, run_method
 from repro.experiments.reporting import format_table
 
 __all__ = [
     "PROFILES",
     "ExperimentProfile",
     "RunResult",
+    "RunSpec",
+    "run_grid",
     "run_method",
     "format_table",
 ]

@@ -4,8 +4,9 @@ DESIGN.md documents several decisions the paper leaves open (Θ
 aggregation mode, server update rule, distillation subset size) and the
 extensions this repo adds (compression, robustness).  Each runner here
 measures one of those choices the same way the paper's tables measure
-its components, reusing the shared cached :func:`repro.experiments.
-runner.run_method` machinery where possible.
+its components, declaring its grid as :class:`~repro.experiments.runner.
+RunSpec` lists and fetching results through the shared cached
+:func:`repro.experiments.runner.run_grid` executor where possible.
 
 Runners (one per ablation bench):
 
@@ -26,7 +27,7 @@ Runners (one per ablation bench):
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.compression.codecs import CompressionConfig
 from repro.core.distillation import DistillationConfig
@@ -35,7 +36,7 @@ from repro.data.synthetic import load_benchmark_dataset
 from repro.eval.evaluator import Evaluator
 from repro.experiments.profiles import get_profile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import RunResult, build_config, run_method
+from repro.experiments.runner import RunResult, RunSpec, build_config, run_grid
 from repro.federated.aggregation import AggregationConfig
 from repro.federated.server_optim import ServerOptimizerConfig
 from repro.robustness.attacks import AttackConfig
@@ -45,22 +46,35 @@ from repro.robustness.harness import AdversarialHeteFedRec
 DATASET = "ml"  # ablations probe design choices; one dataset suffices
 
 
+def _labelled_grid(
+    specs: Dict[str, RunSpec], jobs: Optional[int]
+) -> Dict[str, RunResult]:
+    """Run a label→spec mapping through the grid executor, keeping labels."""
+    grid = run_grid(list(specs.values()), jobs=jobs)
+    return {label: grid[spec] for label, spec in specs.items()}
+
+
 # ----------------------------------------------------------------------
 # Θ aggregation mode
 # ----------------------------------------------------------------------
-def run_theta_mode(profile: str = "bench", arch: str = "ncf") -> Dict[str, RunResult]:
-    """HeteFedRec with Θ averaged (default) vs summed (Eq. 15 verbatim)."""
-    results = {
+def theta_mode_specs(profile: str = "bench", arch: str = "ncf") -> Dict[str, RunSpec]:
+    return {
         # No override for the default arm — it shares the Table II cache entry.
-        "theta mean (default)": run_method(
+        "theta mean (default)": RunSpec(
             DATASET, "hetefedrec", arch=arch, profile=profile
         ),
-        "theta sum (paper)": run_method(
+        "theta sum (paper)": RunSpec(
             DATASET, "hetefedrec", arch=arch, profile=profile,
             config_overrides={"aggregation": AggregationConfig(theta_mode="sum")},
         ),
     }
-    return results
+
+
+def run_theta_mode(
+    profile: str = "bench", arch: str = "ncf", jobs: Optional[int] = None
+) -> Dict[str, RunResult]:
+    """HeteFedRec with Θ averaged (default) vs summed (Eq. 15 verbatim)."""
+    return _labelled_grid(theta_mode_specs(profile, arch), jobs)
 
 
 def format_theta_mode(results: Dict[str, RunResult]) -> str:
@@ -83,18 +97,23 @@ _SERVER_RULES: Tuple[Tuple[str, object], ...] = (
 )
 
 
-def run_server_optimizer(
+def server_optimizer_specs(
     profile: str = "bench", arch: str = "ncf"
+) -> Dict[str, RunSpec]:
+    return {
+        label: RunSpec(
+            DATASET, "hetefedrec", arch=arch, profile=profile,
+            config_overrides=None if rule is None else {"server_optimizer": rule},
+        )
+        for label, rule in _SERVER_RULES
+    }
+
+
+def run_server_optimizer(
+    profile: str = "bench", arch: str = "ncf", jobs: Optional[int] = None
 ) -> Dict[str, RunResult]:
     """Aggregated deltas applied directly vs through adaptive server rules."""
-    results = {}
-    for label, rule in _SERVER_RULES:
-        overrides = {} if rule is None else {"server_optimizer": rule}
-        results[label] = run_method(
-            DATASET, "hetefedrec", arch=arch, profile=profile,
-            config_overrides=overrides,
-        )
-    return results
+    return _labelled_grid(server_optimizer_specs(profile, arch), jobs)
 
 
 def format_server_optimizer(results: Dict[str, RunResult]) -> str:
@@ -118,16 +137,21 @@ _CODECS: Tuple[Tuple[str, object], ...] = (
 )
 
 
-def run_compression(profile: str = "bench", arch: str = "ncf") -> Dict[str, RunResult]:
-    """Upload codecs: ranking quality vs bytes on the wire."""
-    results = {}
-    for label, codec in _CODECS:
-        overrides = {} if codec is None else {"compression": codec}
-        results[label] = run_method(
+def compression_specs(profile: str = "bench", arch: str = "ncf") -> Dict[str, RunSpec]:
+    return {
+        label: RunSpec(
             DATASET, "hetefedrec", arch=arch, profile=profile,
-            config_overrides=overrides,
+            config_overrides=None if codec is None else {"compression": codec},
         )
-    return results
+        for label, codec in _CODECS
+    }
+
+
+def run_compression(
+    profile: str = "bench", arch: str = "ncf", jobs: Optional[int] = None
+) -> Dict[str, RunResult]:
+    """Upload codecs: ranking quality vs bytes on the wire."""
+    return _labelled_grid(compression_specs(profile, arch), jobs)
 
 
 def format_compression(results: Dict[str, RunResult]) -> str:
@@ -146,25 +170,33 @@ def format_compression(results: Dict[str, RunResult]) -> str:
 # ----------------------------------------------------------------------
 # RESKD subset size
 # ----------------------------------------------------------------------
+def kd_subset_specs(
+    profile: str = "bench",
+    arch: str = "ncf",
+    sizes: Sequence[int] = (8, 32, 128),
+) -> Dict[str, RunSpec]:
+    default_size = DistillationConfig().num_items
+    return {
+        f"|V_kd| = {size}": RunSpec(
+            DATASET, "hetefedrec", arch=arch, profile=profile,
+            config_overrides=(
+                None  # the default size shares the Table II cache entry
+                if size == default_size
+                else {"distillation": DistillationConfig(num_items=size)}
+            ),
+        )
+        for size in sizes
+    }
+
+
 def run_kd_subset(
     profile: str = "bench",
     arch: str = "ncf",
     sizes: Sequence[int] = (8, 32, 128),
+    jobs: Optional[int] = None,
 ) -> Dict[str, RunResult]:
     """|V_kd| sweep: the paper subsamples 'to avoid heavy computation'."""
-    default_size = DistillationConfig().num_items
-    results = {}
-    for size in sizes:
-        overrides = (
-            {}  # the default size shares the Table II cache entry
-            if size == default_size
-            else {"distillation": DistillationConfig(num_items=size)}
-        )
-        results[f"|V_kd| = {size}"] = run_method(
-            DATASET, "hetefedrec", arch=arch, profile=profile,
-            config_overrides=overrides,
-        )
-    return results
+    return _labelled_grid(kd_subset_specs(profile, arch, sizes), jobs)
 
 
 def format_kd_subset(results: Dict[str, RunResult]) -> str:
@@ -179,10 +211,23 @@ def format_kd_subset(results: Dict[str, RunResult]) -> str:
 # ----------------------------------------------------------------------
 # Architecture generality (NCF / LightGCN / GMF)
 # ----------------------------------------------------------------------
+def arch_comparison_specs(
+    profile: str = "bench",
+    archs: Sequence[str] = ("ncf", "lightgcn", "mf"),
+    dataset: str = "anime",
+) -> List[RunSpec]:
+    return [
+        RunSpec(dataset, method, arch=arch, profile=profile)
+        for arch in archs
+        for method in ("all_small", "hetefedrec")
+    ]
+
+
 def run_arch_comparison(
     profile: str = "bench",
     archs: Sequence[str] = ("ncf", "lightgcn", "mf"),
     dataset: str = "anime",
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """HeteFedRec vs the strongest homogeneous baseline per architecture.
 
@@ -191,13 +236,14 @@ def run_arch_comparison(
     architecture comparison is not confounded by differential
     overtraining (see EXPERIMENTS.md on the ML analogue).
     """
-    results: Dict[str, Dict[str, RunResult]] = {}
-    for arch in archs:
-        results[arch] = {
-            method: run_method(dataset, method, arch=arch, profile=profile)
+    grid = run_grid(arch_comparison_specs(profile, archs, dataset), jobs=jobs)
+    return {
+        arch: {
+            method: grid[RunSpec(dataset, method, arch=arch, profile=profile)]
             for method in ("all_small", "hetefedrec")
         }
-    return results
+        for arch in archs
+    }
 
 
 def format_arch_comparison(results: Dict[str, Dict[str, RunResult]]) -> str:

@@ -6,15 +6,31 @@ prints the group-level NDCG@20 for the methods the paper highlights.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.registry import DISPLAY_NAMES
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import RunResult, run_method
+from repro.experiments.runner import RunResult, RunSpec, run_grid
 
 FOCUS_METHODS = ("all_small", "all_large", "hetefedrec")
 DATASETS = ("ml", "anime", "douban")
+
+
+def fig6_specs(
+    profile: str | ExperimentProfile = "bench",
+    datasets: Sequence[str] = DATASETS,
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    methods: Sequence[str] = FOCUS_METHODS,
+    seed: int = 0,
+) -> List[RunSpec]:
+    """Fig. 6's runs as specs — a subset of the Table II grid."""
+    return [
+        RunSpec(dataset, method, arch=arch, profile=profile, seed=seed)
+        for arch in archs
+        for dataset in datasets
+        for method in methods
+    ]
 
 
 def run_fig6(
@@ -23,17 +39,24 @@ def run_fig6(
     archs: Sequence[str] = ("ncf", "lightgcn"),
     methods: Sequence[str] = FOCUS_METHODS,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
     """``results[arch][dataset][method]`` with per-group metrics inside."""
-    results: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
-    for arch in archs:
-        results[arch] = {}
-        for dataset in datasets:
-            results[arch][dataset] = {
-                method: run_method(dataset, method, arch=arch, profile=profile, seed=seed)
+    grid = run_grid(
+        fig6_specs(profile, datasets, archs, methods, seed), jobs=jobs
+    )
+    return {
+        arch: {
+            dataset: {
+                method: grid[
+                    RunSpec(dataset, method, arch=arch, profile=profile, seed=seed)
+                ]
                 for method in methods
             }
-    return results
+            for dataset in datasets
+        }
+        for arch in archs
+    }
 
 
 def format_fig6(results: Dict[str, Dict[str, Dict[str, RunResult]]]) -> str:

@@ -7,14 +7,29 @@ from the trainers' evaluation history.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.registry import DISPLAY_NAMES
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_series
-from repro.experiments.runner import RunResult, run_method
+from repro.experiments.runner import RunResult, RunSpec, run_grid
 
 CURVE_METHODS = ("all_small", "all_large", "hetefedrec")
+
+
+def fig7_specs(
+    profile: str | ExperimentProfile = "bench",
+    dataset: str = "ml",
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    methods: Sequence[str] = CURVE_METHODS,
+    seed: int = 0,
+) -> List[RunSpec]:
+    """Fig. 7's runs as specs — Table II's MovieLens column."""
+    return [
+        RunSpec(dataset, method, arch=arch, profile=profile, seed=seed)
+        for arch in archs
+        for method in methods
+    ]
 
 
 def run_fig7(
@@ -23,11 +38,15 @@ def run_fig7(
     archs: Sequence[str] = ("ncf", "lightgcn"),
     methods: Sequence[str] = CURVE_METHODS,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """``results[arch][method]`` with ndcg_curve populated."""
+    grid = run_grid(fig7_specs(profile, dataset, archs, methods, seed), jobs=jobs)
     return {
         arch: {
-            method: run_method(dataset, method, arch=arch, profile=profile, seed=seed)
+            method: grid[
+                RunSpec(dataset, method, arch=arch, profile=profile, seed=seed)
+            ]
             for method in methods
         }
         for arch in archs

@@ -7,15 +7,41 @@ dominate the recommendation loss).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_series
-from repro.experiments.runner import RunResult, run_method
+from repro.experiments.runner import RunResult, RunSpec, run_grid
 
 #: The sweep includes the paper's grid (0.5–2.0) plus the small-scale
 #: operating region; the interior-peak *shape* is the reproduction target.
 DEFAULT_ALPHAS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+def _alpha_spec(dataset: str, arch: str, profile, seed: int, alpha: float) -> RunSpec:
+    return RunSpec(
+        dataset,
+        "hetefedrec",
+        arch=arch,
+        profile=profile,
+        seed=seed,
+        config_overrides={"alpha": float(alpha)},
+    )
+
+
+def fig8_specs(
+    profile: str | ExperimentProfile = "bench",
+    dataset: str = "ml",
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    seed: int = 0,
+) -> List[RunSpec]:
+    """The α sweep as run specs."""
+    return [
+        _alpha_spec(dataset, arch, profile, seed, alpha)
+        for arch in archs
+        for alpha in sorted(alphas)
+    ]
 
 
 def run_fig8(
@@ -24,23 +50,17 @@ def run_fig8(
     archs: Sequence[str] = ("ncf", "lightgcn"),
     alphas: Sequence[float] = DEFAULT_ALPHAS,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[Tuple[float, RunResult]]]:
     """``results[arch] = [(alpha, run), ...]`` sorted by alpha."""
-    results: Dict[str, List[Tuple[float, RunResult]]] = {}
-    for arch in archs:
-        series = []
-        for alpha in sorted(alphas):
-            run = run_method(
-                dataset,
-                "hetefedrec",
-                arch=arch,
-                profile=profile,
-                seed=seed,
-                config_overrides={"alpha": float(alpha)},
-            )
-            series.append((float(alpha), run))
-        results[arch] = series
-    return results
+    grid = run_grid(fig8_specs(profile, dataset, archs, alphas, seed), jobs=jobs)
+    return {
+        arch: [
+            (float(alpha), grid[_alpha_spec(dataset, arch, profile, seed, alpha)])
+            for alpha in sorted(alphas)
+        ]
+        for arch in archs
+    }
 
 
 def format_fig8(results: Dict[str, List[Tuple[float, RunResult]]]) -> str:

@@ -1,11 +1,16 @@
 """Regenerate every paper artefact in one command.
 
 Usage:
-    python -m repro.experiments.run_all --profile bench --out results/
+    python -m repro.experiments.run_all --profile bench --out results/ --jobs 4
 
-Runs Table I–VII and Fig. 1/6/7/8 through the shared runner (cached runs
-are reused), writes each artefact to ``<out>/<name>.txt``, and prints a
-summary of which qualitative paper claims held.
+Collects the training grids of every artefact (Table II/IV/V/VI/VII,
+Fig. 6/7/8, and the run-cache-backed ablations) as :class:`RunSpec`
+lists, dedupes them *across artefacts* (Table II, Fig. 6 and Fig. 7
+share runs; Table V reuses Table IV's rungs), executes the unique
+training jobs through :func:`repro.experiments.runner.run_grid` —
+``--jobs N`` fans cache misses out over N worker processes — then
+renders each artefact from the warmed cache and writes it to
+``<out>/<name>.txt``.
 """
 
 from __future__ import annotations
@@ -13,10 +18,11 @@ from __future__ import annotations
 import argparse
 import os
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.experiments import ablations, fig1, fig6, fig7, fig8
 from repro.experiments import table1, table2, table3, table4, table5, table6, table7
+from repro.experiments.runner import RunSpec, run_grid
 
 #: artefact name → (runner, formatter)
 ARTEFACTS: Dict[str, Tuple[Callable, Callable]] = {
@@ -45,10 +51,50 @@ ARTEFACTS: Dict[str, Tuple[Callable, Callable]] = {
 }
 
 
+def collect_suite_specs(
+    profile: str = "bench", archs: Tuple[str, ...] = ("ncf",), seed: int = 0
+) -> List[RunSpec]:
+    """Every training run the artefact registry will request, with duplicates.
+
+    The spec lists must mirror the defaults the runners in ``ARTEFACTS``
+    are called with, so that warming the cache from this collection turns
+    every later runner call into a pure cache hit.  Analytic artefacts
+    (Table I/III, Fig. 1, the robustness/systems ablations) train nothing
+    and contribute no specs.
+    """
+    specs: List[RunSpec] = []
+    specs += table2.table2_specs(profile, archs=archs, seed=seed)
+    specs += fig6.fig6_specs(profile, archs=archs, seed=seed)
+    specs += fig7.fig7_specs(profile, archs=archs, seed=seed)
+    specs += table4.table4_specs(profile, archs=archs, seed=seed)
+    specs += table5.table5_specs(profile, archs=archs, seed=seed)
+    specs += table6.table6_specs(profile, archs=archs, seed=seed)
+    specs += table7.table7_specs(profile, archs=archs, seed=seed)
+    specs += fig8.fig8_specs(profile, archs=archs, seed=seed)
+    specs += list(ablations.theta_mode_specs(profile).values())
+    specs += list(ablations.server_optimizer_specs(profile).values())
+    specs += list(ablations.compression_specs(profile).values())
+    specs += list(ablations.kd_subset_specs(profile).values())
+    specs += ablations.arch_comparison_specs(profile, archs=archs)
+    return specs
+
+
 def run_all(profile: str = "bench", out_dir: str = "results",
-            archs: Tuple[str, ...] = ("ncf",)) -> List[str]:
+            archs: Tuple[str, ...] = ("ncf",),
+            jobs: Optional[int] = None) -> List[str]:
     """Run every artefact; returns the list of files written."""
     os.makedirs(out_dir, exist_ok=True)
+
+    # One deduped pass over the whole suite's training jobs: overlapping
+    # grids dispatch once, and cache misses run ``jobs``-wide.
+    specs = collect_suite_specs(profile=profile, archs=archs)
+    start = time.time()
+    grid = run_grid(specs, jobs=jobs)
+    print(
+        f"[{time.time() - start:7.1f}s] training grid: {len(specs)} requested, "
+        f"{len(grid)} unique runs ready (jobs={jobs or 1})"
+    )
+
     written = []
     for name, (runner, formatter) in ARTEFACTS.items():
         start = time.time()
@@ -75,8 +121,12 @@ def main() -> None:
     parser.add_argument("--out", default="results")
     parser.add_argument("--archs", nargs="+", default=["ncf"],
                         choices=["ncf", "lightgcn"])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the training grid "
+                        "(default: serial)")
     args = parser.parse_args()
-    run_all(profile=args.profile, out_dir=args.out, archs=tuple(args.archs))
+    run_all(profile=args.profile, out_dir=args.out, archs=tuple(args.archs),
+            jobs=args.jobs)
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Shared experiment runner with an on-disk result cache.
+"""Shared experiment runner: cached single runs and a parallel grid executor.
 
 ``run_method`` trains one (dataset, method, architecture) triple under a
 profile and returns a :class:`RunResult` with everything the table/figure
@@ -9,6 +9,28 @@ Results are cached as JSON under ``.repro_cache/`` keyed by the exact
 run parameters, so re-running a benchmark suite (or building several
 tables that share runs — Table II, Fig. 6 and Fig. 7 all reuse the same
 training jobs) costs one training run, not three.
+
+Grid execution
+--------------
+Experiment modules declare their grids as lists of :class:`RunSpec`
+(a hashable run descriptor — the same parameters ``run_method`` takes)
+and hand them to :func:`run_grid`, which
+
+1. dedupes identical specs *before* dispatch (overlapping grids such as
+   Table II / Fig. 6 / Fig. 7 collapse to one training job per unique
+   spec, not one per consumer);
+2. resolves cache hits in the parent process;
+3. fans the remaining misses out over a ``ProcessPoolExecutor`` when
+   ``jobs > 1``.  Workers memoize dataset generation per process, train
+   deterministically from the spec's seed (results are bitwise-identical
+   to serial execution), re-check the cache before training (another
+   process may have finished the same key), and publish results with an
+   atomic ``os.replace`` so concurrent writers can never tear an entry.
+
+Cache writes are atomic everywhere (tmp file in the cache directory +
+``os.replace``); a torn or corrupt entry is treated as a miss and is
+rewritten by the next run that needs it.  Point ``REPRO_CACHE_DIR`` at a
+shared location to reuse runs across working copies.
 """
 
 from __future__ import annotations
@@ -16,15 +38,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Tuple
-
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, astuple, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.baselines.registry import build_method
 from repro.core.config import HeteFedRecConfig
 from repro.core.grouping import divide_clients
 from repro.data.splitting import train_test_split_per_user
-from repro.data.synthetic import load_benchmark_dataset
+from repro.data.synthetic import SyntheticConfig, load_benchmark_dataset
 from repro.eval.evaluator import Evaluator
 from repro.eval.groups import per_group_metrics
 from repro.experiments.profiles import ExperimentProfile, get_profile
@@ -61,6 +84,74 @@ class RunResult:
         return cls(**raw)
 
 
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """Hashable descriptor of one training run — ``run_method``'s arguments.
+
+    Identity (``==`` / ``hash``) is the cache key: two specs that would
+    produce the same cache entry are the same run, regardless of whether
+    their overrides were spelled as equal-but-distinct objects.  That
+    makes pre-dispatch dedup in :func:`run_grid` exact, and lets callers
+    fetch results from a grid with freshly-built specs.
+    """
+
+    dataset: str
+    method: str
+    arch: str = "ncf"
+    profile: "str | ExperimentProfile" = "bench"
+    seed: int = 0
+    config_overrides: Optional[Mapping[str, Any]] = None
+
+    def resolved_profile(self) -> ExperimentProfile:
+        if isinstance(self.profile, ExperimentProfile):
+            return self.profile
+        return get_profile(self.profile)
+
+    def cache_params(self) -> Dict[str, Any]:
+        """The exact parameter dict the cache key is derived from."""
+        prof = self.resolved_profile()
+        overrides = dict(self.config_overrides or {})
+        return dict(
+            dataset=self.dataset,
+            method=self.method,
+            arch=self.arch,
+            profile=prof.name,
+            scale=prof.scale,
+            item_scale=prof.item_scale,
+            epochs=prof.epochs,
+            local_epochs=prof.local_epochs,
+            lr=prof.lr,
+            seed=self.seed,
+            overrides={k: repr(v) for k, v in sorted(overrides.items())},
+            version=3,  # bump to invalidate on semantic changes
+        )
+
+    def key(self) -> str:
+        # Memoized: identity is probed on every dict lookup, and the
+        # canonicalisation (profile resolution + json + sha256) is pure.
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = _cache_key(**self.cache_params())
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunSpec):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        prof = self.profile if isinstance(self.profile, str) else self.profile.name
+        tail = f", overrides={dict(self.config_overrides)}" if self.config_overrides else ""
+        return (
+            f"RunSpec({self.dataset!r}, {self.method!r}, arch={self.arch!r}, "
+            f"profile={prof!r}, seed={self.seed}{tail})"
+        )
+
+
 def _cache_key(**params) -> str:
     canonical = json.dumps(params, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()[:24]
@@ -78,14 +169,50 @@ def _load_cached(key: str) -> Optional[RunResult]:
         with open(path, "r", encoding="utf-8") as handle:
             return RunResult.from_json(handle.read())
     except (json.JSONDecodeError, KeyError, TypeError):
-        # A corrupt cache entry is treated as a miss, not an error.
+        # A corrupt (e.g. torn by a crashed writer) entry is a miss, not
+        # an error; the next training run overwrites it atomically.
         return None
 
 
 def _store_cached(key: str, result: RunResult) -> None:
+    """Publish a result atomically: concurrent readers see old/new, never torn.
+
+    The tmp file lives in the cache directory itself so ``os.replace`` is
+    a same-filesystem atomic rename even when ``REPRO_CACHE_DIR`` points
+    at a different mount than the default tmp location.
+    """
     os.makedirs(CACHE_DIR, exist_ok=True)
-    with open(_cache_path(key), "w", encoding="utf-8") as handle:
-        handle.write(result.to_json())
+    fd, tmp_path = tempfile.mkstemp(dir=CACHE_DIR, prefix=f".{key}-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        os.replace(tmp_path, _cache_path(key))
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+# ----------------------------------------------------------------------
+# Dataset memoization (per process)
+# ----------------------------------------------------------------------
+#: Generated datasets keyed by (name, SyntheticConfig fields).  Datasets
+#: are immutable once built (splitting copies interactions out), so runs
+#: in one process — a grid worker training several specs, or a serial
+#: sweep — share one generation instead of regenerating per run.
+_DATASET_MEMO: Dict[tuple, Any] = {}
+_DATASET_MEMO_LIMIT = 8
+
+
+def _memoized_dataset(name: str, config: SyntheticConfig):
+    memo_key = (name, astuple(config))
+    dataset = _DATASET_MEMO.get(memo_key)
+    if dataset is None:
+        dataset = load_benchmark_dataset(name, config)
+        if len(_DATASET_MEMO) >= _DATASET_MEMO_LIMIT:
+            _DATASET_MEMO.pop(next(iter(_DATASET_MEMO)))
+        _DATASET_MEMO[memo_key] = dataset
+    return dataset
 
 
 def build_config(
@@ -107,43 +234,15 @@ def build_config(
     return config.copy_with(**overrides) if overrides else config
 
 
-def run_method(
-    dataset: str,
-    method: str,
-    arch: str = "ncf",
-    profile: str | ExperimentProfile = "bench",
-    seed: int = 0,
-    use_cache: bool = True,
-    config_overrides: Optional[dict] = None,
-) -> RunResult:
-    """Train one method on one dataset and return (cached) results."""
-    prof = profile if isinstance(profile, ExperimentProfile) else get_profile(profile)
-    overrides = config_overrides or {}
+def _train_spec(spec: RunSpec) -> RunResult:
+    """Train one spec (no cache involvement) — deterministic in the spec."""
+    prof = spec.resolved_profile()
+    overrides = dict(spec.config_overrides or {})
 
-    cache_params = dict(
-        dataset=dataset,
-        method=method,
-        arch=arch,
-        profile=prof.name,
-        scale=prof.scale,
-        item_scale=prof.item_scale,
-        epochs=prof.epochs,
-        local_epochs=prof.local_epochs,
-        lr=prof.lr,
-        seed=seed,
-        overrides={k: repr(v) for k, v in sorted(overrides.items())},
-        version=3,  # bump to invalidate on semantic changes
-    )
-    key = _cache_key(**cache_params)
-    if use_cache:
-        cached = _load_cached(key)
-        if cached is not None:
-            return cached
-
-    data = load_benchmark_dataset(dataset, prof.synthetic_config())
-    clients = train_test_split_per_user(data, seed=seed)
-    config = build_config(prof, arch, seed, **overrides)
-    trainer = build_method(method, data.num_items, clients, config)
+    data = _memoized_dataset(spec.dataset, prof.synthetic_config())
+    clients = train_test_split_per_user(data, seed=spec.seed)
+    config = build_config(prof, spec.arch, spec.seed, **overrides)
+    trainer = build_method(spec.method, data.num_items, clients, config)
     evaluator = Evaluator(clients, k=config.eval_k)
 
     trainer.fit(evaluator)
@@ -163,10 +262,10 @@ def run_method(
             for group, model in trainer.models.items()
         }
 
-    result = RunResult(
-        dataset=dataset,
-        method=method,
-        arch=arch,
+    return RunResult(
+        dataset=spec.dataset,
+        method=spec.method,
+        arch=spec.arch,
         profile=prof.name,
         recall=final.recall,
         ndcg=final.ndcg,
@@ -176,11 +275,124 @@ def run_method(
         communication_total=trainer.meter.total,
         communication_per_round=trainer.meter.per_client_round(),
         collapse={g: float(v) for g, v in collapse.items()},
-        seed=seed,
+        seed=spec.seed,
     )
+
+
+def run_spec(spec: RunSpec, use_cache: bool = True) -> RunResult:
+    """Train one spec through the cache (the serial execution path)."""
+    key = spec.key()
+    if use_cache:
+        cached = _load_cached(key)
+        if cached is not None:
+            return cached
+    result = _train_spec(spec)
     if use_cache:
         _store_cached(key, result)
     return result
+
+
+def run_method(
+    dataset: str,
+    method: str,
+    arch: str = "ncf",
+    profile: "str | ExperimentProfile" = "bench",
+    seed: int = 0,
+    use_cache: bool = True,
+    config_overrides: Optional[dict] = None,
+) -> RunResult:
+    """Train one method on one dataset and return (cached) results."""
+    spec = RunSpec(
+        dataset=dataset,
+        method=method,
+        arch=arch,
+        profile=profile,
+        seed=seed,
+        config_overrides=config_overrides,
+    )
+    return run_spec(spec, use_cache=use_cache)
+
+
+def _grid_worker(spec: RunSpec, use_cache: bool, cache_dir: str) -> RunResult:
+    """Resolve one dispatched miss inside a pool worker.
+
+    ``cache_dir`` is passed explicitly because only fork-started workers
+    inherit the parent's (possibly overridden) ``CACHE_DIR`` global;
+    under spawn/forkserver the module is re-imported and would resolve
+    the default location instead.  Re-checks the cache first: a
+    concurrent invocation (another grid, a benchmark in a second working
+    copy sharing ``REPRO_CACHE_DIR``) may have published this key since
+    the parent's miss scan.
+    """
+    global CACHE_DIR
+    CACHE_DIR = cache_dir
+    return run_spec(spec, use_cache=use_cache)
+
+
+def run_grid(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+) -> Dict[RunSpec, RunResult]:
+    """Execute a grid of runs, deduped, cached, and optionally in parallel.
+
+    Parameters
+    ----------
+    specs:
+        Run descriptors, possibly with duplicates (overlapping consumer
+        grids are the normal case) — deduped before any dispatch.
+    jobs:
+        Worker processes for cache misses.  ``None``/``1`` trains the
+        misses serially in-process; ``jobs > 1`` fans them out over a
+        ``ProcessPoolExecutor``.  Results are bitwise-identical either
+        way (training is deterministic in the spec).
+    use_cache:
+        When ``True`` (default), hits are served from ``.repro_cache/``
+        and misses are published back to it.
+
+    Returns a mapping from spec to result; index it with any
+    :class:`RunSpec` equal to one of the inputs (spec identity is the
+    cache key, so rebuilding a spec at the call site works).
+    """
+    unique: Dict[str, RunSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.key(), spec)
+
+    results: Dict[str, RunResult] = {}
+    misses: List[RunSpec] = []
+    if use_cache:
+        for key, spec in unique.items():
+            cached = _load_cached(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                misses.append(spec)
+    else:
+        misses = list(unique.values())
+
+    workers = 1 if jobs is None else max(int(jobs), 1)
+    if misses:
+        if workers == 1 or len(misses) == 1:
+            for spec in misses:
+                results[spec.key()] = run_spec(spec, use_cache=use_cache)
+        else:
+            # Warm the dataset memo once in the parent: fork-started
+            # workers inherit the generated datasets, sparing each its
+            # own regeneration (spawn platforms fall back to the
+            # per-worker memo).
+            for spec in misses:
+                _memoized_dataset(
+                    spec.dataset, spec.resolved_profile().synthetic_config()
+                )
+            with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+                futures = {
+                    spec.key(): pool.submit(_grid_worker, spec, use_cache, CACHE_DIR)
+                    for spec in misses
+                }
+                for key, future in futures.items():
+                    results[key] = future.result()
+
+    return {spec: results[key] for key, spec in unique.items()}
 
 
 def clear_cache() -> int:
@@ -192,4 +404,7 @@ def clear_cache() -> int:
         if name.endswith(".json"):
             os.remove(os.path.join(CACHE_DIR, name))
             removed += 1
+        elif name.endswith(".tmp"):
+            # Leftover from a crashed writer; never a valid entry.
+            os.remove(os.path.join(CACHE_DIR, name))
     return removed

@@ -7,15 +7,31 @@ Fig. 6 and Fig. 7, which analyse the same training jobs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.registry import DISPLAY_NAMES, TABLE2_ORDER
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import RunResult, run_method
+from repro.experiments.runner import RunResult, RunSpec, run_grid
 
 DATASETS = ("ml", "anime", "douban")
 ARCHS = ("ncf", "lightgcn")
+
+
+def table2_specs(
+    profile: str | ExperimentProfile = "bench",
+    datasets: Sequence[str] = DATASETS,
+    archs: Sequence[str] = ARCHS,
+    methods: Sequence[str] = TABLE2_ORDER,
+    seed: int = 0,
+) -> List[RunSpec]:
+    """The full Table II grid as run specs (shared with Fig. 6 / Fig. 7)."""
+    return [
+        RunSpec(dataset, method, arch=arch, profile=profile, seed=seed)
+        for arch in archs
+        for dataset in datasets
+        for method in methods
+    ]
 
 
 def run_table2(
@@ -24,18 +40,24 @@ def run_table2(
     archs: Sequence[str] = ARCHS,
     methods: Sequence[str] = TABLE2_ORDER,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
     """Run the full grid; returns ``results[arch][dataset][method]``."""
-    results: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
-    for arch in archs:
-        results[arch] = {}
-        for dataset in datasets:
-            results[arch][dataset] = {}
-            for method in methods:
-                results[arch][dataset][method] = run_method(
-                    dataset, method, arch=arch, profile=profile, seed=seed
-                )
-    return results
+    grid = run_grid(
+        table2_specs(profile, datasets, archs, methods, seed), jobs=jobs
+    )
+    return {
+        arch: {
+            dataset: {
+                method: grid[
+                    RunSpec(dataset, method, arch=arch, profile=profile, seed=seed)
+                ]
+                for method in methods
+            }
+            for dataset in datasets
+        }
+        for arch in archs
+    }
 
 
 def format_table2(results: Dict[str, Dict[str, Dict[str, RunResult]]]) -> str:

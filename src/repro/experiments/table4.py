@@ -7,11 +7,11 @@ construction, the Directly Aggregate baseline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import RunResult, run_method
+from repro.experiments.runner import RunResult, RunSpec, run_grid
 
 #: (label, config overrides) in the paper's row order.
 ABLATION_LADDER: Tuple[Tuple[str, dict], ...] = (
@@ -25,28 +25,53 @@ ABLATION_LADDER: Tuple[Tuple[str, dict], ...] = (
 )
 
 
+def _ladder_spec(
+    dataset: str, arch: str, profile, seed: int, overrides: dict
+) -> RunSpec:
+    return RunSpec(
+        dataset,
+        "hetefedrec",
+        arch=arch,
+        profile=profile,
+        seed=seed,
+        config_overrides=overrides,
+    )
+
+
+def table4_specs(
+    profile: str | ExperimentProfile = "bench",
+    datasets: Sequence[str] = ("ml", "anime", "douban"),
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    seed: int = 0,
+) -> List[RunSpec]:
+    """The ablation ladder as run specs (Table V reuses two rungs)."""
+    return [
+        _ladder_spec(dataset, arch, profile, seed, overrides)
+        for arch in archs
+        for dataset in datasets
+        for _, overrides in ABLATION_LADDER
+    ]
+
+
 def run_table4(
     profile: str | ExperimentProfile = "bench",
     datasets: Sequence[str] = ("ml", "anime", "douban"),
     archs: Sequence[str] = ("ncf", "lightgcn"),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
     """``results[arch][dataset][variant_label]``."""
-    results: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
-    for arch in archs:
-        results[arch] = {}
-        for dataset in datasets:
-            results[arch][dataset] = {}
-            for label, overrides in ABLATION_LADDER:
-                results[arch][dataset][label] = run_method(
-                    dataset,
-                    "hetefedrec",
-                    arch=arch,
-                    profile=profile,
-                    seed=seed,
-                    config_overrides=overrides,
-                )
-    return results
+    grid = run_grid(table4_specs(profile, datasets, archs, seed), jobs=jobs)
+    return {
+        arch: {
+            dataset: {
+                label: grid[_ladder_spec(dataset, arch, profile, seed, overrides)]
+                for label, overrides in ABLATION_LADDER
+            }
+            for dataset in datasets
+        }
+        for arch in archs
+    }
 
 
 def format_table4(results: Dict[str, Dict[str, Dict[str, RunResult]]]) -> str:

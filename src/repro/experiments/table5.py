@@ -8,11 +8,44 @@ prevent.  Reuses the Table IV runs (full vs −RESKD,DDR) via the cache.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import run_method
+from repro.experiments.runner import RunSpec, run_grid
+
+#: Both arms disable RESKD so the comparison isolates DDR; these are the
+#: same cache entries as Table IV's middle rungs.
+ARMS = (
+    ("+ DDR", {"enable_reskd": False}),
+    ("- DDR", {"enable_reskd": False, "enable_ddr": False}),
+)
+
+
+def _arm_spec(dataset: str, arch: str, profile, seed: int, overrides: dict) -> RunSpec:
+    return RunSpec(
+        dataset,
+        "hetefedrec",
+        arch=arch,
+        profile=profile,
+        seed=seed,
+        config_overrides=overrides,
+    )
+
+
+def table5_specs(
+    profile: str | ExperimentProfile = "bench",
+    datasets: Sequence[str] = ("ml", "anime", "douban"),
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    seed: int = 0,
+) -> List[RunSpec]:
+    """Both DDR arms as run specs (shared with Table IV via the cache key)."""
+    return [
+        _arm_spec(dataset, arch, profile, seed, overrides)
+        for arch in archs
+        for dataset in datasets
+        for _, overrides in ARMS
+    ]
 
 
 def run_table5(
@@ -20,35 +53,23 @@ def run_table5(
     datasets: Sequence[str] = ("ml", "anime", "douban"),
     archs: Sequence[str] = ("ncf", "lightgcn"),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """``variance[arch][dataset][{'+ DDR', '- DDR'}]`` for the V_l table.
 
     RESKD is disabled in both arms so the comparison isolates DDR, which
     is also how the paper's Table V pairs with its ablation.
     """
+    grid = run_grid(table5_specs(profile, datasets, archs, seed), jobs=jobs)
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
     for arch in archs:
         results[arch] = {}
         for dataset in datasets:
-            with_ddr = run_method(
-                dataset,
-                "hetefedrec",
-                arch=arch,
-                profile=profile,
-                seed=seed,
-                config_overrides={"enable_reskd": False},
-            )
-            without_ddr = run_method(
-                dataset,
-                "hetefedrec",
-                arch=arch,
-                profile=profile,
-                seed=seed,
-                config_overrides={"enable_reskd": False, "enable_ddr": False},
-            )
             results[arch][dataset] = {
-                "+ DDR": with_ddr.collapse.get("l", 0.0),
-                "- DDR": without_ddr.collapse.get("l", 0.0),
+                label: grid[
+                    _arm_spec(dataset, arch, profile, seed, overrides)
+                ].collapse.get("l", 0.0)
+                for label, overrides in ARMS
             }
     return results
 

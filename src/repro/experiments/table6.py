@@ -7,11 +7,11 @@ and 2:3:5 (optimistic), bracketing with All Small (≈10:0:0) and All Large
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import RunResult, run_method
+from repro.experiments.runner import RunResult, RunSpec, run_grid
 
 RATIOS: Tuple[Tuple[str, tuple], ...] = (
     ("5:3:2", (5, 3, 2)),
@@ -20,35 +20,62 @@ RATIOS: Tuple[Tuple[str, tuple], ...] = (
 )
 
 
+def _column_specs(dataset: str, arch: str, profile, seed: int) -> Dict[str, RunSpec]:
+    """The five paper columns for one (arch, dataset) cell, in order."""
+    columns: Dict[str, RunSpec] = {
+        "All Small": RunSpec(
+            dataset, "all_small", arch=arch, profile=profile, seed=seed
+        )
+    }
+    for label, ratios in RATIOS:
+        columns[label] = RunSpec(
+            dataset,
+            "hetefedrec",
+            arch=arch,
+            profile=profile,
+            seed=seed,
+            config_overrides={"ratios": ratios},
+        )
+    columns["All Large"] = RunSpec(
+        dataset, "all_large", arch=arch, profile=profile, seed=seed
+    )
+    return columns
+
+
+def table6_specs(
+    profile: str | ExperimentProfile = "bench",
+    datasets: Sequence[str] = ("ml", "anime", "douban"),
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    seed: int = 0,
+) -> List[RunSpec]:
+    """The division-ratio sweep as run specs (brackets shared with Table II)."""
+    return [
+        spec
+        for arch in archs
+        for dataset in datasets
+        for spec in _column_specs(dataset, arch, profile, seed).values()
+    ]
+
+
 def run_table6(
     profile: str | ExperimentProfile = "bench",
     datasets: Sequence[str] = ("ml", "anime", "douban"),
     archs: Sequence[str] = ("ncf", "lightgcn"),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
     """``results[arch][dataset][column]`` with the paper's five columns."""
-    results: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
-    for arch in archs:
-        results[arch] = {}
-        for dataset in datasets:
-            row: Dict[str, RunResult] = {}
-            row["All Small"] = run_method(
-                dataset, "all_small", arch=arch, profile=profile, seed=seed
-            )
-            for label, ratios in RATIOS:
-                row[label] = run_method(
-                    dataset,
-                    "hetefedrec",
-                    arch=arch,
-                    profile=profile,
-                    seed=seed,
-                    config_overrides={"ratios": ratios},
-                )
-            row["All Large"] = run_method(
-                dataset, "all_large", arch=arch, profile=profile, seed=seed
-            )
-            results[arch][dataset] = row
-    return results
+    grid = run_grid(table6_specs(profile, datasets, archs, seed), jobs=jobs)
+    return {
+        arch: {
+            dataset: {
+                label: grid[spec]
+                for label, spec in _column_specs(dataset, arch, profile, seed).items()
+            }
+            for dataset in datasets
+        }
+        for arch in archs
+    }
 
 
 def format_table6(results: Dict[str, Dict[str, Dict[str, RunResult]]]) -> str:

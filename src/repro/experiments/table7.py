@@ -8,11 +8,11 @@ data's sweet spot.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.profiles import ExperimentProfile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import RunResult, run_method
+from repro.experiments.runner import RunResult, RunSpec, run_grid
 
 SIZE_SETTINGS: Tuple[Tuple[str, dict], ...] = (
     ("{2,4,8}", {"s": 2, "m": 4, "l": 8}),
@@ -23,29 +23,53 @@ SIZE_SETTINGS: Tuple[Tuple[str, dict], ...] = (
 METHODS = ("all_small", "all_large", "hetefedrec")
 
 
+def _size_spec(
+    dataset: str, method: str, arch: str, profile, seed: int, dims: dict
+) -> RunSpec:
+    return RunSpec(
+        dataset,
+        method,
+        arch=arch,
+        profile=profile,
+        seed=seed,
+        config_overrides={"dims": dims},
+    )
+
+
+def table7_specs(
+    profile: str | ExperimentProfile = "bench",
+    dataset: str = "ml",
+    archs: Sequence[str] = ("ncf", "lightgcn"),
+    seed: int = 0,
+) -> List[RunSpec]:
+    """The model-size sweep as run specs."""
+    return [
+        _size_spec(dataset, method, arch, profile, seed, dims)
+        for arch in archs
+        for _, dims in SIZE_SETTINGS
+        for method in METHODS
+    ]
+
+
 def run_table7(
     profile: str | ExperimentProfile = "bench",
     dataset: str = "ml",
     archs: Sequence[str] = ("ncf", "lightgcn"),
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, RunResult]]]:
     """``results[arch][setting_label][method]`` (NDCG is the paper's metric)."""
-    results: Dict[str, Dict[str, Dict[str, RunResult]]] = {}
-    for arch in archs:
-        results[arch] = {}
-        for label, dims in SIZE_SETTINGS:
-            results[arch][label] = {
-                method: run_method(
-                    dataset,
-                    method,
-                    arch=arch,
-                    profile=profile,
-                    seed=seed,
-                    config_overrides={"dims": dims},
-                )
+    grid = run_grid(table7_specs(profile, dataset, archs, seed), jobs=jobs)
+    return {
+        arch: {
+            label: {
+                method: grid[_size_spec(dataset, method, arch, profile, seed, dims)]
                 for method in METHODS
             }
-    return results
+            for label, dims in SIZE_SETTINGS
+        }
+        for arch in archs
+    }
 
 
 def format_table7(results: Dict[str, Dict[str, Dict[str, RunResult]]]) -> str:

@@ -113,8 +113,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: ``fused_propagation`` descriptor).  This is independent of
 #: ``BaseRecommender.batched_scoring``, which only promises
 #: inference-time ``score_matrix`` support: a new architecture needs an
-#: engine forward of its own, not just scoring (LightGCN trains fused
-#: but still evaluates per client).
+#: engine forward of its own, not just scoring.
 BATCHABLE_ARCHS = ("ncf", "mf", "lightgcn")
 
 #: Marks a client with no DDR term this round (distinct from ``None``,

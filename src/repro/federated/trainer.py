@@ -570,7 +570,9 @@ class FederatedTrainer:
         objective needs the reference path (HeteFedRec with UDL/DDR) still
         scores with the stock hook, so its evaluation can be blocked.
         Requires the inherited ``score_all_items`` and a batched-scoring
-        model for every group (LightGCN's local-graph scoring is not).
+        model for every group — true for all three stock architectures
+        (LightGCN's local-graph scoring is batched through the
+        ``train_items`` argument of ``score_matrix``).
         """
         return type(self).score_all_items is FederatedTrainer.score_all_items and all(
             model.batched_scoring for model in self.models.values()
@@ -607,7 +609,8 @@ class FederatedTrainer:
         Stacks each dim-group's user embeddings and runs the group model's
         batched :meth:`~repro.models.base.BaseRecommender.score_matrix`
         once — the blocked counterpart of :meth:`score_all_items`, used by
-        :meth:`Evaluator.evaluate_blocked`.
+        :meth:`Evaluator.evaluate_blocked`.  Each client's local graph
+        rides along for architectures whose scoring propagates over it.
         """
         scores = np.empty((len(clients), self.num_items))
         for group in self.groups:
@@ -621,7 +624,10 @@ class FederatedTrainer:
             user_mat = np.stack(
                 [self.runtimes[clients[i].user_id].user_embedding for i in positions]
             )
-            scores[positions] = self.models[group].score_matrix(user_mat)
+            scores[positions] = self.models[group].score_matrix(
+                user_mat,
+                train_items=[clients[i].train_items for i in positions],
+            )
         return scores
 
     # ------------------------------------------------------------------

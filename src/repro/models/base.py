@@ -109,6 +109,31 @@ class ScoringHead(Module):
                     z = z + layer.bias.data
         return z[..., 0] + self.gmf_matrix(user_mat, item_mat)
 
+    def logits_pairs(self, user_mat: np.ndarray, item_mat: np.ndarray) -> np.ndarray:
+        """Full-head logits for *aligned* (P, d) user/item rows, (P,).
+
+        The plain-numpy counterpart of :meth:`forward` for inference:
+        pair ``p`` scores ``user_mat[p]`` against ``item_mat[p]``.  Used
+        where the all-pairs :meth:`logits_matrix` block does not apply —
+        LightGCN's interacted items propagate per (user, item) edge, so
+        their corrected scores are a sparse set of aligned pairs.
+        """
+        layers = list(self.ffn)
+        first = layers[0]
+        split = user_mat.shape[1]
+        z = user_mat @ first.weight.data[:split] + item_mat @ first.weight.data[split:]
+        if first.has_bias:
+            z = z + first.bias.data
+        for layer in layers[1:]:
+            if isinstance(layer, ReLU):
+                z = np.maximum(z, 0.0)
+            else:
+                z = z @ layer.weight.data
+                if layer.has_bias:
+                    z = z + layer.bias.data
+        gmf = ((user_mat * self.gmf.weight.data[:, 0]) * item_mat).sum(axis=1)
+        return z[:, 0] + gmf
+
 
 def tile_user(user_vec: Tensor, batch: int) -> Tensor:
     """Broadcast a (d,) user vector into a (batch, d) matrix, differentiably.
@@ -140,8 +165,9 @@ class BaseRecommender(Module):
     arch: str = "base"
 
     #: Whether :meth:`score_matrix` is implemented for this architecture.
-    #: Models whose scoring needs per-user side information (LightGCN's
-    #: local graph) leave this ``False`` and are evaluated per client.
+    #: Per-user side information (LightGCN's local graph) arrives through
+    #: the ``train_items`` argument; an architecture that cannot score a
+    #: block even with it leaves this ``False`` and is evaluated per client.
     batched_scoring: bool = False
 
     def __init__(
@@ -220,14 +246,18 @@ class BaseRecommender(Module):
         user_mat: np.ndarray,
         width: Optional[int] = None,
         head: Optional[ScoringHead] = None,
+        train_items: Optional[Sequence[Optional[np.ndarray]]] = None,
     ) -> np.ndarray:
         """Scores of *every* catalogue item for a stacked block of users.
 
         ``user_mat`` is (B, N); the result is (B, |V|) — one full-ranking
         score row per user, computed as blocked matrix products instead of
         B separate :meth:`logits` calls.  Plain numpy (no tape): this is an
-        inference-only path.  Architectures that cannot score without
-        per-user context keep ``batched_scoring = False`` and raise here.
+        inference-only path.  ``train_items`` optionally carries each
+        user's local graph (one id array per row, aligned with
+        ``user_mat``) for architectures whose scoring propagates over it
+        (LightGCN); NCF/GMF ignore it.  Architectures that cannot score a
+        block keep ``batched_scoring = False`` and raise here.
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not support batched scoring"

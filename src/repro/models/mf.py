@@ -41,6 +41,7 @@ class GMF(BaseRecommender):
         user_mat: np.ndarray,
         width: Optional[int] = None,
         head: Optional[ScoringHead] = None,
+        train_items=None,  # GMF scoring has no propagation stage
     ) -> np.ndarray:
         user_mat, item_mat, head = self._prefix_block(user_mat, width, head)
         return head.gmf_matrix(user_mat, item_mat)

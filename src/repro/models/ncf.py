@@ -26,6 +26,7 @@ class NCF(BaseRecommender):
         user_mat: np.ndarray,
         width: Optional[int] = None,
         head: Optional[ScoringHead] = None,
+        train_items=None,  # NCF scoring has no propagation stage
     ) -> np.ndarray:
         user_mat, item_mat, head = self._prefix_block(user_mat, width, head)
         return head.logits_matrix(user_mat, item_mat)

@@ -148,6 +148,58 @@ class TestLightGCN:
         assert out.shape == (2,)
 
 
+class TestLightGCNBlockedScoring:
+    """The batched ``score_matrix`` path must match per-user ``logits``."""
+
+    def _block_setup(self, dim=6, num_items=12, num_users=5, seed=0):
+        rng = np.random.default_rng(seed)
+        model = LightGCN(num_items=num_items, dim=dim, rng=rng)
+        user_mat = rng.normal(0, 0.1, (num_users, dim))
+        train_items = [
+            np.sort(rng.choice(num_items, size=size, replace=False))
+            for size in (3, 1, 0, 5, 2)
+        ]
+        return model, user_mat, train_items
+
+    def test_matches_per_user_logits(self):
+        model, user_mat, train_items = self._block_setup()
+        scores = model.score_matrix(user_mat, train_items=train_items)
+        all_items = np.arange(model.num_items)
+        for row, (u, train) in enumerate(zip(user_mat, train_items)):
+            ref = model.logits(Tensor(u), all_items, train_item_ids=train)
+            assert np.allclose(scores[row], ref.data, atol=1e-12), row
+
+    def test_no_graph_degenerates_to_plain_block(self):
+        model, user_mat, _ = self._block_setup()
+        bare = model.score_matrix(user_mat)
+        empty = model.score_matrix(
+            user_mat, train_items=[np.array([], dtype=np.int64)] * len(user_mat)
+        )
+        assert np.array_equal(bare, empty)
+        assert bare.shape == (len(user_mat), model.num_items)
+
+    def test_prefix_block(self):
+        model, user_mat, train_items = self._block_setup(dim=8)
+        head = ScoringHead(4, rng=np.random.default_rng(1))
+        scores = model.score_matrix(
+            user_mat, width=4, head=head, train_items=train_items
+        )
+        all_items = np.arange(model.num_items)
+        for row, (u, train) in enumerate(zip(user_mat, train_items)):
+            ref = model.logits(
+                Tensor(u), all_items, train_item_ids=train, width=4, head=head
+            )
+            assert np.allclose(scores[row], ref.data, atol=1e-12), row
+
+    def test_row_count_mismatch_rejected(self):
+        model, user_mat, train_items = self._block_setup()
+        with pytest.raises(ValueError):
+            model.score_matrix(user_mat, train_items=train_items[:-1])
+
+    def test_batched_scoring_flag(self):
+        assert LightGCN.batched_scoring is True
+
+
 class TestFactory:
     def test_build_by_name(self):
         assert isinstance(build_model("ncf", 10, 4), NCF)

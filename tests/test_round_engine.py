@@ -405,14 +405,23 @@ class TestBlockedEvaluation:
             blocked.per_user_ndcg, per_client.per_user_ndcg, atol=ATOL
         )
 
-    def test_lightgcn_stays_per_client(self, tiny_dataset, tiny_clients):
+    def test_lightgcn_blocked_matches_per_client(self, tiny_dataset, tiny_clients):
+        """LightGCN evaluates blocked too: the star-graph propagation is
+        batched through ``score_matrix``'s ``train_items`` argument and
+        must reproduce the per-client scoring hook."""
         trainer = FederatedTrainer(
             tiny_dataset.num_items,
             tiny_clients,
             divide_clients(tiny_clients),
             small_config(arch="lightgcn"),
         )
-        assert not trainer.supports_blocked_scoring()
+        assert trainer.supports_blocked_scoring()
+        trainer.fit()
+        blocked = trainer.score_item_matrix(tiny_clients)
+        per_client = np.stack(
+            [trainer.score_all_items(client) for client in tiny_clients]
+        )
+        np.testing.assert_allclose(blocked, per_client, atol=1e-10)
 
     def test_empty_subset(self, trained, tiny_clients):
         evaluator = Evaluator(tiny_clients, k=10)
