@@ -89,6 +89,33 @@ class StandaloneTrainer(FederatedTrainer):
         """No server, no aggregation."""
 
     # ------------------------------------------------------------------
+    # Checkpointing: the personal models ARE the training state here
+    # ------------------------------------------------------------------
+    def _checkpoint_extra_state(self):
+        arrays, meta = super()._checkpoint_extra_state()
+        for user_id, state in self._client_states.items():
+            for name, values in state.items():
+                arrays[f"standalone/{user_id}/{name}"] = values
+        return arrays, meta
+
+    def _restore_checkpoint_extra_state(self, archive, meta) -> None:
+        super()._restore_checkpoint_extra_state(archive, meta)
+        states: Dict[int, Dict[str, np.ndarray]] = {}
+        prefix = "standalone/"
+        for key in archive.files:
+            if key.startswith(prefix):
+                user_str, _, name = key[len(prefix):].partition("/")
+                states.setdefault(int(user_str), {})[name] = archive[key]
+        if set(states) != set(self._client_states):
+            from repro.federated.checkpoint import CheckpointMismatchError
+
+            raise CheckpointMismatchError(
+                "checkpoint's standalone client models do not cover this "
+                "trainer's client population"
+            )
+        self._client_states = states
+
+    # ------------------------------------------------------------------
     # Inference against the personal model
     # ------------------------------------------------------------------
     def score_all_items(self, client: ClientData) -> np.ndarray:

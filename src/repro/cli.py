@@ -2,8 +2,11 @@
 
 Subcommands
 -----------
-``run``
+``run`` (alias ``train``)
     Train one method on one dataset and print Recall@20 / NDCG@20.
+    ``--checkpoint PATH`` autosaves full training state every
+    ``--checkpoint-every`` epochs; ``--resume PATH`` restores a
+    checkpointed run and continues it bitwise-identically.
 ``experiments``
     Regenerate paper artefacts (delegates to
     :mod:`repro.experiments.run_all`).
@@ -60,19 +63,27 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.federated.checkpoint import load_checkpoint
+
     dataset = _load_dataset(args)
     clients = train_test_split_per_user(dataset, seed=args.seed)
+    checkpoint_path = args.checkpoint or args.resume
     config = HeteFedRecConfig(
         arch=args.arch,
         epochs=args.epochs,
         clients_per_round=args.clients_per_round,
         seed=args.seed,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=args.checkpoint_every if checkpoint_path else 0,
     )
     trainer = build_method(args.method, dataset.num_items, clients, config)
     evaluator = Evaluator(clients, k=args.k)
     print(f"training {DISPLAY_NAMES.get(args.method, args.method)} "
           f"({args.arch}) on {dataset.name}: "
           f"{dataset.num_users} users, {dataset.num_items} items")
+    if args.resume:
+        load_checkpoint(trainer, args.resume)
+        print(f"resumed from {args.resume} at epoch {trainer.epochs_completed}")
     trainer.fit()
     result = trainer.evaluate_with(evaluator)
     print(result)
@@ -138,13 +149,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = subparsers.add_parser("run", help="train one method and evaluate")
+    run_parser = subparsers.add_parser(
+        "run", aliases=["train"], help="train one method and evaluate"
+    )
     _add_data_arguments(run_parser)
     run_parser.add_argument("--method", choices=sorted(METHODS), default="hetefedrec")
     run_parser.add_argument("--arch", choices=("ncf", "lightgcn", "mf"), default="ncf")
     run_parser.add_argument("--epochs", type=int, default=5)
     run_parser.add_argument("--clients-per-round", type=int, default=256)
     run_parser.add_argument("--k", type=int, default=20)
+    run_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="autosave full training state to PATH every --checkpoint-every "
+        "epochs (atomic writes; resumable with --resume PATH)",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="epochs between autosaves when checkpointing (default: 1)",
+    )
+    run_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="restore full training state from PATH before training and "
+        "continue the run bitwise-identically (keeps autosaving there)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     exp_parser = subparsers.add_parser(

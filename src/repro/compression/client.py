@@ -123,3 +123,20 @@ class ClientCompressor:
     def reset(self) -> None:
         """Drop all residual state (e.g. between independent experiment repeats)."""
         self._residuals.clear()
+
+    # ------------------------------------------------------------------
+    # Checkpointing: error-feedback residuals feed every later round's
+    # compression, so a bitwise resume must carry them.
+    # ------------------------------------------------------------------
+    def export_residuals(self):
+        """``[(user_id, block_key, residual), ...]`` in insertion order."""
+        return [
+            (user_id, key, residual)
+            for (user_id, key), residual in self._residuals.items()
+        ]
+
+    def restore_residuals(self, items) -> None:
+        """Replace all residual state with checkpointed entries."""
+        self._residuals = {
+            (user_id, key): residual for user_id, key, residual in items
+        }

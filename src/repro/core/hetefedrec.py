@@ -179,6 +179,17 @@ class HeteFedRec(FederatedTrainer):
         return decorrelation_penalty(weight[subset])
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_rngs(self):
+        """The KD and DDR streams shape training (RESKD anchors, DDR row
+        subsets), so a bitwise resume must replay them too."""
+        rngs = super()._checkpoint_rngs()
+        rngs["kd"] = self._kd_rng
+        rngs["ddr"] = self._ddr_rng
+        return rngs
+
+    # ------------------------------------------------------------------
     # Server side: RESKD
     # ------------------------------------------------------------------
     def post_aggregate(self, epoch: int) -> None:

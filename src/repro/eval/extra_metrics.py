@@ -140,7 +140,10 @@ def gini_coefficient(counts: Iterable[float]) -> float:
         return 0.0
     n = values.size
     indices = np.arange(1, n + 1, dtype=np.float64)
-    return float((2.0 * np.sum(indices * values) - (n + 1) * total) / (n * total))
+    gini = (2.0 * np.sum(indices * values) - (n + 1) * total) / (n * total)
+    # Near-uniform vectors can land an ulp below zero in floating point;
+    # clamp so the documented [0, 1) range holds exactly.
+    return float(max(gini, 0.0))
 
 
 def extended_user_metrics(

@@ -31,6 +31,19 @@ Cache writes are atomic everywhere (tmp file in the cache directory +
 ``os.replace``); a torn or corrupt entry is treated as a miss and is
 rewritten by the next run that needs it.  Point ``REPRO_CACHE_DIR`` at a
 shared location to reuse runs across working copies.
+
+Preemption tolerance
+--------------------
+Cached runs are also *resumable*: while training, a worker autosaves a
+full-state checkpoint (``{key}.ckpt.npz`` next to the cache entry,
+every ``max(1, epochs // 5)`` epochs plus always after the final one,
+atomic) and a worker picking the same spec up after a
+kill restores it and continues the run bitwise-identically — the result
+published to the cache is the one the uninterrupted run would have
+produced (see :mod:`repro.federated.checkpoint`).  A stale, corrupt or
+incompatible checkpoint is discarded and the spec restarts cleanly; the
+checkpoint is deleted once the result is published.  ``use_cache=False``
+runs stay fully stateless (no checkpoint reads or writes).
 """
 
 from __future__ import annotations
@@ -39,6 +52,7 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, astuple, dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -123,7 +137,12 @@ class RunSpec:
             lr=prof.lr,
             seed=self.seed,
             overrides={k: repr(v) for k, v in sorted(overrides.items())},
-            version=3,  # bump to invalidate on semantic changes
+            # Bump to invalidate on semantic changes.  v4: PR 2 changed
+            # the training stream (DDR row subsets drawn once per round
+            # instead of per epoch) without bumping, so v3 caches could
+            # hold pre-change results that masked the drift — any v3
+            # entry is untrustworthy.
+            version=4,
         )
 
     def key(self) -> str:
@@ -234,19 +253,61 @@ def build_config(
     return config.copy_with(**overrides) if overrides else config
 
 
-def _train_spec(spec: RunSpec) -> RunResult:
-    """Train one spec (no cache involvement) — deterministic in the spec."""
+def _spec_checkpoint_path(key: str) -> str:
+    """Where a worker autosaves/resumes the full training state for a key."""
+    return os.path.join(CACHE_DIR, f"{key}.ckpt.npz")
+
+
+def _train_spec(spec: RunSpec, checkpoint: bool = False) -> RunResult:
+    """Train one spec (no cache involvement) — deterministic in the spec.
+
+    With ``checkpoint=True`` the run autosaves its full state under the
+    spec's cache key every ``max(1, epochs // 5)`` epochs (plus always
+    after the final one) and resumes from an existing checkpoint (a
+    previous worker killed mid-run) instead of restarting; resumed
+    results are bitwise-identical to uninterrupted ones, so the cache
+    entry is the same either way.
+    """
+    from repro.federated.checkpoint import (
+        CheckpointMismatchError,
+        load_checkpoint,
+        remove_checkpoint,
+    )
+
     prof = spec.resolved_profile()
     overrides = dict(spec.config_overrides or {})
 
     data = _memoized_dataset(spec.dataset, prof.synthetic_config())
     clients = train_test_split_per_user(data, seed=spec.seed)
     config = build_config(prof, spec.arch, spec.seed, **overrides)
+    ckpt_path = None
+    if checkpoint:
+        ckpt_path = _spec_checkpoint_path(spec.key())
+        os.makedirs(CACHE_DIR, exist_ok=True)
+        config.checkpoint_path = ckpt_path
+        # Cadence scales with the schedule (like eval_every): long runs
+        # checkpoint often enough to bound lost work, short smoke runs
+        # don't pay a compressed full-state write every epoch.  The
+        # final epoch always saves regardless, covering the window
+        # between training and the cache publish.
+        config.checkpoint_every = max(1, config.epochs // 5)
     trainer = build_method(spec.method, data.num_items, clients, config)
+    if ckpt_path is not None and os.path.exists(ckpt_path):
+        try:
+            load_checkpoint(trainer, ckpt_path)
+        except (CheckpointMismatchError, KeyError, ValueError, OSError, zipfile.BadZipFile):
+            # Stale/corrupt/incompatible leftovers: discard them and the
+            # (possibly partially mutated) trainer, restart cleanly.
+            remove_checkpoint(ckpt_path)
+            trainer = build_method(spec.method, data.num_items, clients, config)
     evaluator = Evaluator(clients, k=config.eval_k)
 
     trainer.fit(evaluator)
     final = trainer.evaluate_with(evaluator)
+    # NB: the checkpoint is NOT removed here — run_spec deletes it only
+    # after the result is published to the cache, so a kill between
+    # training and publishing still resumes (from the final-epoch save,
+    # where fit() is a no-op) instead of restarting.
 
     division = divide_clients(clients, getattr(config, "ratios", (5, 3, 2)))
     groups = per_group_metrics(final, division)
@@ -280,15 +341,27 @@ def _train_spec(spec: RunSpec) -> RunResult:
 
 
 def run_spec(spec: RunSpec, use_cache: bool = True) -> RunResult:
-    """Train one spec through the cache (the serial execution path)."""
+    """Train one spec through the cache (the serial execution path).
+
+    Cached runs checkpoint while training and resume a killed run's
+    checkpoint; ``use_cache=False`` runs are stateless.
+    """
     key = spec.key()
     if use_cache:
+        from repro.federated.checkpoint import remove_checkpoint
+
         cached = _load_cached(key)
         if cached is not None:
+            # A kill between a previous publish and its cleanup can
+            # orphan the checkpoint; the hit path sweeps it.
+            remove_checkpoint(_spec_checkpoint_path(key))
             return cached
-    result = _train_spec(spec)
+    result = _train_spec(spec, checkpoint=use_cache)
     if use_cache:
         _store_cached(key, result)
+        # Only now is the run durable; dropping the checkpoint earlier
+        # would open a kill window that loses the whole run.
+        remove_checkpoint(_spec_checkpoint_path(key))
     return result
 
 
@@ -401,7 +474,10 @@ def clear_cache() -> int:
         return 0
     removed = 0
     for name in os.listdir(CACHE_DIR):
-        if name.endswith(".json"):
+        if name.endswith(".ckpt.npz") or name.endswith(".ckpt.npz.meta.json"):
+            # Resume checkpoints of killed runs; not result entries.
+            os.remove(os.path.join(CACHE_DIR, name))
+        elif name.endswith(".json"):
             os.remove(os.path.join(CACHE_DIR, name))
             removed += 1
         elif name.endswith(".tmp"):

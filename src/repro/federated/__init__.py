@@ -56,8 +56,11 @@ from repro.federated.round_engine import (
     engine_supports,
 )
 from repro.federated.checkpoint import (
+    CheckpointMismatchError,
     load_checkpoint,
     load_inference_model,
+    read_manifest,
+    remove_checkpoint,
     save_checkpoint,
     user_embedding_from_checkpoint,
 )
@@ -95,8 +98,11 @@ __all__ = [
     "FusedObjective",
     "VectorizedRoundEngine",
     "engine_supports",
+    "CheckpointMismatchError",
     "save_checkpoint",
     "load_checkpoint",
     "load_inference_model",
+    "read_manifest",
+    "remove_checkpoint",
     "user_embedding_from_checkpoint",
 ]

@@ -111,6 +111,13 @@ def merge_duplicate_users(updates: Sequence[ClientUpdate]) -> List[ClientUpdate]
     Aggregation is additive, so summing the deltas first is equivalent —
     and required under secure aggregation, where each participant may
     hold exactly one masking slot per round.
+
+    Accounting survives the merge: both uploads really crossed the wire,
+    so the merged ``upload_size`` is the *sum* of the constituents' wire
+    costs (recomputing it from the merged union would under-count Table
+    III whenever the two uploads' touched rows overlap, or when either
+    carried a compressed-size override), and the merged ``train_loss``
+    is the example-weighted mean of the constituents'.
     """
     merged: dict = {}
     order: List[int] = []
@@ -127,13 +134,22 @@ def merge_duplicate_users(updates: Sequence[ClientUpdate]) -> List[ClientUpdate]
             bucket = heads.setdefault(group, {})
             for name, values in state.items():
                 bucket[name] = bucket[name] + values if name in bucket else values.copy()
+        num_examples = existing.num_examples + update.num_examples
+        if num_examples > 0:
+            train_loss = (
+                existing.num_examples * existing.train_loss
+                + update.num_examples * update.train_loss
+            ) / num_examples
+        else:
+            train_loss = update.train_loss
         merged[update.user_id] = ClientUpdate(
             user_id=existing.user_id,
             group=existing.group,
             embedding_delta=existing.embedding_delta + update.embedding_delta,
             head_deltas=heads,
-            num_examples=existing.num_examples + update.num_examples,
-            train_loss=update.train_loss,
+            num_examples=num_examples,
+            train_loss=float(train_loss),
+            upload_size_override=float(existing.upload_size + update.upload_size),
         )
     return [merged[user_id] for user_id in order]
 
@@ -153,6 +169,16 @@ class StragglerBuffer:
         """Pop everything buffered (applied together with the next round)."""
         drained, self._pending = self._pending, []
         return drained
+
+    def export_pending(self) -> List[ClientUpdate]:
+        """Buffered updates as stored (already staleness-scaled) — used by
+        checkpointing, which must persist them without re-weighting."""
+        return list(self._pending)
+
+    def restore_pending(self, updates: Iterable[ClientUpdate]) -> None:
+        """Replace the buffer with checkpointed updates, verbatim (no
+        re-scaling: they were scaled once when originally added)."""
+        self._pending = list(updates)
 
     def discard_user(self, user_id: int) -> None:
         """Drop any buffered update from ``user_id`` (client retirement)."""

@@ -102,6 +102,20 @@ class CommunicationMeter:
             return 0.0
         return self.total / self.client_rounds
 
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot of the accumulated totals."""
+        return {
+            "downloads": dict(self.downloads),
+            "uploads": dict(self.uploads),
+            "client_rounds": int(self.client_rounds),
+        }
+
+    def load_state(self, state: Mapping[str, object]) -> None:
+        """Restore totals from :meth:`export_state` output."""
+        self.downloads = {g: int(v) for g, v in dict(state["downloads"]).items()}
+        self.uploads = {g: int(v) for g, v in dict(state["uploads"]).items()}
+        self.client_rounds = int(state["client_rounds"])
+
     def summary(self) -> Dict[str, Tuple[int, int]]:
         """``{group: (download, upload)}`` totals."""
         groups = sorted(set(self.downloads) | set(self.uploads))

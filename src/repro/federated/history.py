@@ -54,3 +54,27 @@ class TrainingHistory:
     def final(self) -> Optional[EpochRecord]:
         evaluated = self.evaluated()
         return evaluated[-1] if evaluated else None
+
+    def export_records(self) -> List[dict]:
+        """JSON-serialisable list of all epoch records (checkpointing)."""
+        return [
+            {
+                "epoch": r.epoch,
+                "train_loss": r.train_loss,
+                "recall": r.recall,
+                "ndcg": r.ndcg,
+            }
+            for r in self.records
+        ]
+
+    def restore_records(self, payload: List[dict]) -> None:
+        """Replace the log with checkpointed records."""
+        self.records = [
+            EpochRecord(
+                epoch=int(r["epoch"]),
+                train_loss=float(r["train_loss"]),
+                recall=None if r["recall"] is None else float(r["recall"]),
+                ndcg=None if r["ndcg"] is None else float(r["ndcg"]),
+            )
+            for r in payload
+        ]

@@ -139,7 +139,15 @@ class SparseRowDelta:
     # Arithmetic (sparse-preserving)
     # ------------------------------------------------------------------
     def __mul__(self, factor: float) -> "SparseRowDelta":
-        return SparseRowDelta(self.num_rows, self.rows.copy(), self.values * factor)
+        # Promote explicitly: python scalars stay "weak" (a float32 delta
+        # scaled by 0.5 stays float32) but a typed float64 operand must
+        # win, on every numpy version, not just under NEP 50.
+        dtype = np.result_type(self.values.dtype, factor)
+        return SparseRowDelta(
+            self.num_rows,
+            self.rows.copy(),
+            self.values.astype(dtype, copy=False) * factor,
+        )
 
     __rmul__ = __mul__
 
@@ -150,7 +158,10 @@ class SparseRowDelta:
                     f"cannot add deltas of shapes {self.shape} and {other.shape}"
                 )
             rows = np.union1d(self.rows, other.rows)
-            values = np.zeros((rows.size, self.width), dtype=self.values.dtype)
+            values = np.zeros(
+                (rows.size, self.width),
+                dtype=np.result_type(self.values.dtype, other.values.dtype),
+            )
             values[np.searchsorted(rows, self.rows)] = self.values
             values[np.searchsorted(rows, other.rows)] += other.values
             return SparseRowDelta(self.num_rows, rows, values)

@@ -100,6 +100,27 @@ class ServerOptimizer:
         self._momentum.clear()
         self._second.clear()
 
+    # ------------------------------------------------------------------
+    # Checkpointing: the moments ARE the optimiser, so a resumed run must
+    # carry them — restarting them at zero silently changes every
+    # subsequent adaptive step.
+    # ------------------------------------------------------------------
+    def export_moments(self) -> "tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]":
+        """Copies of the per-parameter first/second moment buffers."""
+        return (
+            {key: buf.copy() for key, buf in self._momentum.items()},
+            {key: buf.copy() for key, buf in self._second.items()},
+        )
+
+    def load_moments(
+        self,
+        momentum: Dict[str, np.ndarray],
+        second: Dict[str, np.ndarray],
+    ) -> None:
+        """Replace all moment state with checkpointed buffers."""
+        self._momentum = {key: np.array(buf) for key, buf in momentum.items()}
+        self._second = {key: np.array(buf) for key, buf in second.items()}
+
     def state_norms(self) -> Dict[str, float]:
         """L2 norm of each momentum buffer (diagnostics / tests)."""
         return {key: float(np.linalg.norm(buf)) for key, buf in self._momentum.items()}

@@ -110,6 +110,14 @@ class FederatedConfig:
     #: ``"float32"``).  Sweeps opt into float32 for speed/memory; the
     #: default stays float64 so gradient checking is unaffected.
     dtype: str = "float64"
+    #: Full-state autosave target for :meth:`FederatedTrainer.fit`: when
+    #: set (and ``checkpoint_every > 0``), the trainer writes an atomic
+    #: checkpoint here every ``checkpoint_every`` epochs so an
+    #: interrupted run can resume bitwise-identically — see
+    #: :mod:`repro.federated.checkpoint`.  ``None`` disables autosave.
+    checkpoint_path: Optional[str] = None
+    #: Epoch interval between autosaves; 0 disables them.
+    checkpoint_every: int = 0
 
     def copy_with(self, **overrides) -> "FederatedConfig":
         """Functional update (used heavily by the experiment sweeps)."""
@@ -140,6 +148,7 @@ class FederatedTrainer:
         self.history = TrainingHistory()
         self._rng = np.random.default_rng(config.seed)
         self._round_counter = 0
+        self._epochs_done = 0
         self._compressor = (
             ClientCompressor(config.compression)
             if config.compression is not None and config.compression.kind != "none"
@@ -550,9 +559,20 @@ class FederatedTrainer:
         return updates
 
     def fit(self, evaluator: Optional[Evaluator] = None) -> TrainingHistory:
-        """Run the full federated schedule, logging history per epoch."""
+        """Run the full federated schedule, logging history per epoch.
+
+        Resume-aware: epochs already completed (a freshly built trainer
+        has none; one restored via
+        :func:`repro.federated.checkpoint.load_checkpoint` continues
+        where the checkpoint stopped) are skipped, and with
+        ``config.checkpoint_path`` + ``checkpoint_every`` set, a
+        full-state checkpoint is autosaved atomically every
+        ``checkpoint_every`` epochs — the interrupt/resume stream is
+        bitwise-identical to an uninterrupted run.
+        """
         cfg = self.config
-        for epoch in range(1, cfg.epochs + 1):
+        autosave = cfg.checkpoint_path is not None and cfg.checkpoint_every > 0
+        for epoch in range(self._epochs_done + 1, cfg.epochs + 1):
             mean_loss = self.run_epoch(epoch)
             recall = ndcg = None
             if evaluator is not None and (
@@ -561,7 +581,21 @@ class FederatedTrainer:
                 result = self.evaluate_with(evaluator)
                 recall, ndcg = result.recall, result.ndcg
             self.history.log(epoch, mean_loss, recall=recall, ndcg=ndcg)
+            self._epochs_done = epoch
+            # The final epoch always saves: the checkpoint doubles as the
+            # deploy artefact, so it must never trail the finished run.
+            if autosave and (
+                epoch % cfg.checkpoint_every == 0 or epoch == cfg.epochs
+            ):
+                from repro.federated.checkpoint import save_checkpoint
+
+                save_checkpoint(self, cfg.checkpoint_path)
         return self.history
+
+    @property
+    def epochs_completed(self) -> int:
+        """Epochs :meth:`fit` has finished (survives checkpoint/resume)."""
+        return self._epochs_done
 
     def supports_blocked_scoring(self) -> bool:
         """Whether blocked full-ranking evaluation is valid for this trainer.
@@ -629,6 +663,38 @@ class FederatedTrainer:
                 train_items=[clients[i].train_items for i in positions],
             )
         return scores
+
+    # ------------------------------------------------------------------
+    # Checkpointing hooks (see :mod:`repro.federated.checkpoint`)
+    # ------------------------------------------------------------------
+    def _checkpoint_rngs(self) -> Dict[str, np.random.Generator]:
+        """Named server-side RNG streams a resume must replay exactly.
+
+        The base protocol draws from the permutation RNG (plus the shared
+        codec RNG when compression is configured — random-k sparsification
+        consumes it every upload); subclasses with extra streams
+        (HeteFedRec's KD/DDR generators) extend the mapping.  Per-client
+        streams (``runtime.rng``, the negative sampler) are handled
+        separately by the checkpoint layer.
+        """
+        rngs = {"trainer": self._rng}
+        if self._compressor is not None:
+            rngs["codec"] = self._compressor.codec._rng
+        return rngs
+
+    def _checkpoint_extra_state(self) -> Tuple[Dict[str, np.ndarray], dict]:
+        """``(arrays, meta)`` of subclass state beyond the base protocol.
+
+        ``arrays`` joins the checkpoint's ``.npz`` payload (keys must not
+        collide with the base layout); ``meta`` must be JSON-serialisable
+        and lands under the manifest's ``"extra"`` section.  The base
+        trainer carries nothing extra; Standalone persists its per-client
+        model copies here and the unlearning trainer its ledger.
+        """
+        return {}, {}
+
+    def _restore_checkpoint_extra_state(self, archive, meta: dict) -> None:
+        """Inverse of :meth:`_checkpoint_extra_state` (no-op by default)."""
 
     # ------------------------------------------------------------------
     # Introspection

@@ -87,6 +87,57 @@ class ContributionLedger:
         self._embeddings.pop(user_id, None)
         self._heads.pop(user_id, None)
 
+    # ------------------------------------------------------------------
+    # Checkpointing: the ledger is what makes later unlearning exact, so
+    # a resumed run must carry every recorded contribution.
+    # ------------------------------------------------------------------
+    def export_state(self):
+        """``(arrays, meta)`` — arrays under ``ledger/…`` keys plus a
+        JSON index; sparse entries keep their sparse form (the shared
+        :func:`repro.federated.checkpoint.pack_delta` layout)."""
+        from repro.federated.checkpoint import pack_delta
+
+        arrays: Dict[str, np.ndarray] = {}
+        meta = {"embeddings": [], "heads": []}
+        index = 0
+        for user_id in sorted(self._embeddings):
+            for group in sorted(self._embeddings[user_id]):
+                record = {"user": int(user_id), "group": group}
+                record.update(
+                    pack_delta(
+                        self._embeddings[user_id][group],
+                        f"ledger/emb/{index}",
+                        arrays,
+                    )
+                )
+                meta["embeddings"].append(record)
+                index += 1
+        index = 0
+        for user_id in sorted(self._heads):
+            for head_group in sorted(self._heads[user_id]):
+                for name in sorted(self._heads[user_id][head_group]):
+                    meta["heads"].append(
+                        {"user": int(user_id), "head_group": head_group, "name": name}
+                    )
+                    arrays[f"ledger/head/{index}"] = self._heads[user_id][head_group][name]
+                    index += 1
+        return arrays, meta
+
+    def load_state(self, archive, meta) -> None:
+        """Inverse of :meth:`export_state`; replaces all recorded state."""
+        from repro.federated.checkpoint import unpack_delta
+
+        self._embeddings = {}
+        self._heads = {}
+        for index, record in enumerate(meta.get("embeddings", [])):
+            self._embeddings.setdefault(int(record["user"]), {})[
+                record["group"]
+            ] = unpack_delta(record, f"ledger/emb/{index}", archive)
+        for index, record in enumerate(meta.get("heads", [])):
+            self._heads.setdefault(int(record["user"]), {}).setdefault(
+                record["head_group"], {}
+            )[record["name"]] = archive[f"ledger/head/{index}"]
+
 
 class UnlearningHeteFedRec(HeteFedRec):
     """HeteFedRec with a contribution ledger and client removal."""
@@ -176,6 +227,19 @@ class UnlearningHeteFedRec(HeteFedRec):
                         update.user_id, head_group, name,
                         values * (server_lr / divisor),
                     )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint_extra_state(self):
+        arrays, meta = super()._checkpoint_extra_state()
+        ledger_arrays, ledger_meta = self.ledger.export_state()
+        arrays.update(ledger_arrays)
+        return arrays, {**meta, "ledger": ledger_meta}
+
+    def _restore_checkpoint_extra_state(self, archive, meta) -> None:
+        super()._restore_checkpoint_extra_state(archive, meta)
+        self.ledger.load_state(archive, meta.get("ledger", {}))
 
     # ------------------------------------------------------------------
     # Unlearning

@@ -25,6 +25,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--arch", "transformer"])
 
+    def test_run_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--checkpoint", "ck.npz", "--checkpoint-every", "3"]
+        )
+        assert args.checkpoint == "ck.npz" and args.checkpoint_every == 3
+        assert args.resume is None
+
+    def test_train_alias_accepts_resume(self):
+        args = build_parser().parse_args(["train", "--resume", "ck.npz"])
+        assert args.resume == "ck.npz"
+        assert args.func.__name__ == "_cmd_run"
+
     def test_search_defaults(self):
         args = build_parser().parse_args(["search"])
         assert args.epochs_per_rung == 1

@@ -35,9 +35,9 @@ def train_counter(monkeypatch):
     calls = []
     original = runner._train_spec
 
-    def counting(spec):
+    def counting(spec, *args, **kwargs):
         calls.append(spec.key())
-        return original(spec)
+        return original(spec, *args, **kwargs)
 
     monkeypatch.setattr(runner, "_train_spec", counting)
     return calls

@@ -111,6 +111,54 @@ class TestMergeDuplicateUsers:
         merged = merge_duplicate_users([a, b])[0]
         assert set(merged.head_deltas) == {"s", "m"}
 
+    def test_merged_wire_cost_is_the_sum_of_both_uploads(self):
+        """Two uploads really crossed the wire (buffered straggler + fresh
+        one); recomputing the size from the merged union under-counts."""
+        from repro.federated.payload import SparseRowDelta
+
+        a = ClientUpdate(
+            1, "s",
+            SparseRowDelta(10, np.array([0, 1, 2]), np.ones((3, 2))),
+            num_examples=4,
+        )
+        b = ClientUpdate(
+            1, "s",
+            SparseRowDelta(10, np.array([1, 2, 3]), np.ones((3, 2))),
+            num_examples=4,
+        )
+        merged = merge_duplicate_users([a, b])[0]
+        # Overlapping rows: the union covers 4 rows (12 scalars on the
+        # wire by recomputation) but 6 row-uploads actually happened.
+        assert merged.upload_size == a.upload_size + b.upload_size
+        assert merged.upload_size > SparseRowDelta(
+            10, np.array([0, 1, 2, 3]), np.ones((4, 2))
+        ).wire_size
+
+    def test_merged_wire_cost_keeps_compression_overrides(self):
+        a = make_update(1, 1.0)
+        b = make_update(1, 2.0)
+        b.upload_size_override = 3.0  # compressed upload's true cost
+        merged = merge_duplicate_users([a, b])[0]
+        assert merged.upload_size == a.upload_size + 3.0
+
+    def test_merged_train_loss_is_example_weighted(self):
+        a = make_update(1, 1.0)
+        b = make_update(2, 2.0)  # different user: untouched
+        c = make_update(1, 3.0)
+        a.num_examples, a.train_loss = 10, 1.0
+        c.num_examples, c.train_loss = 5, 0.4
+        merged = merge_duplicate_users([a, b, c])
+        assert merged[0].train_loss == pytest.approx((10 * 1.0 + 5 * 0.4) / 15)
+        assert merged[1].train_loss == b.train_loss
+
+    def test_merged_train_loss_with_zero_examples(self):
+        a = make_update(1, 1.0)
+        b = make_update(1, 2.0)
+        a.num_examples = b.num_examples = 0
+        a.train_loss, b.train_loss = 0.7, 0.9
+        merged = merge_duplicate_users([a, b])[0]
+        assert merged.train_loss == pytest.approx(0.9)
+
 
 class TestStragglerBuffer:
     def test_scaled_on_add(self):

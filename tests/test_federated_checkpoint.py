@@ -1,14 +1,27 @@
-"""Tests for checkpoint save/load and inference-model restoration."""
+"""Tests for checkpoint save/load and inference-model restoration.
+
+Covers the versioned-manifest compatibility contract (every mismatch —
+wrong arch, wrong dims, missing group, extra/missing users, wrong
+dtype, wrong feature set, wrong format version — raises
+:class:`CheckpointMismatchError` rather than silently truncating), the
+dtype-persistence fix for deploy-side loading, and full-state
+restoration of the RNG/progress sections.  The bitwise resume pins live
+in ``tests/test_checkpoint_resume.py``.
+"""
 
 import os
 
 import numpy as np
 import pytest
 
+import repro.federated.checkpoint as checkpoint_module
 from repro.core import HeteFedRec, HeteFedRecConfig
+from repro.federated.availability import AvailabilityConfig
 from repro.federated.checkpoint import (
+    CheckpointMismatchError,
     load_checkpoint,
     load_inference_model,
+    read_manifest,
     save_checkpoint,
     user_embedding_from_checkpoint,
 )
@@ -24,10 +37,10 @@ def trained(tiny_dataset, tiny_clients):
     return trainer
 
 
-def fresh_trainer(tiny_dataset, tiny_clients, seed=123):
+def fresh_trainer(tiny_dataset, tiny_clients, seed=123, **overrides):
     config = HeteFedRecConfig(
         dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1, lr=0.01, seed=seed
-    )
+    ).copy_with(**overrides)
     return HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
 
 
@@ -66,6 +79,225 @@ class TestSaveLoad:
         path = str(tmp_path / "ckpt.npz")
         save_checkpoint(trained, path)
         assert os.path.exists(path + ".meta.json")
+
+    def test_save_creates_parent_directories(self, trained, tmp_path):
+        """An autosave target in a not-yet-existing directory must not
+        crash after a whole epoch of training."""
+        path = str(tmp_path / "nested" / "dir" / "ckpt.npz")
+        save_checkpoint(trained, path)
+        assert os.path.exists(path)
+
+    def test_full_state_sections_restored(
+        self, trained, tiny_dataset, tiny_clients, tmp_path
+    ):
+        """Progress, history, meter and every RNG stream survive a load."""
+        path = str(tmp_path / "ckpt.npz")
+        trained._epochs_done = 1
+        save_checkpoint(trained, path)
+        other = fresh_trainer(tiny_dataset, tiny_clients)
+        load_checkpoint(other, path)
+
+        assert other.epochs_completed == 1
+        assert other._round_counter == trained._round_counter
+        assert other.meter.export_state() == trained.meter.export_state()
+        assert other.history.export_records() == trained.history.export_records()
+        # RNG streams replay identically: server-side draws...
+        assert np.array_equal(
+            trained._rng.permutation(16), other._rng.permutation(16)
+        )
+        assert np.array_equal(trained._ddr_rng.integers(0, 100, 8),
+                              other._ddr_rng.integers(0, 100, 8))
+        # ...and each client's private + sampler streams.
+        user = tiny_clients[0].user_id
+        assert np.array_equal(
+            trained.runtimes[user].rng.normal(size=4),
+            other.runtimes[user].rng.normal(size=4),
+        )
+        assert np.array_equal(
+            trained.runtimes[user].sampler._rng.integers(0, 100, 8),
+            other.runtimes[user].sampler._rng.integers(0, 100, 8),
+        )
+
+    def test_manifest_readable(self, trained, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trained, path)
+        meta = read_manifest(path)
+        assert meta["format_version"] == checkpoint_module.FORMAT_VERSION
+        assert meta["method"] == "hetefedrec"
+        assert meta["arch"] == "ncf"
+        assert meta["dtype"] == "float64"
+        assert meta["dims"] == {"s": 4, "m": 6, "l": 8}
+
+
+class TestMismatch:
+    """Every incompatibility raises; nothing ever silently truncates."""
+
+    @pytest.fixture()
+    def saved(self, trained, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(trained, path)
+        return path
+
+    def test_wrong_arch(self, saved, tiny_dataset, tiny_clients):
+        other = fresh_trainer(tiny_dataset, tiny_clients, arch="mf")
+        with pytest.raises(CheckpointMismatchError, match="arch"):
+            load_checkpoint(other, saved)
+
+    def test_wrong_dims(self, saved, tiny_dataset, tiny_clients):
+        other = fresh_trainer(
+            tiny_dataset, tiny_clients, dims={"s": 4, "m": 6, "l": 12}
+        )
+        with pytest.raises(CheckpointMismatchError, match="dims"):
+            load_checkpoint(other, saved)
+
+    def test_wrong_hidden(self, saved, tiny_dataset, tiny_clients):
+        other = fresh_trainer(tiny_dataset, tiny_clients, hidden=(4, 4))
+        with pytest.raises(CheckpointMismatchError, match="hidden"):
+            load_checkpoint(other, saved)
+
+    def test_missing_group(self, saved, tiny_dataset, tiny_clients):
+        """A two-group trainer cannot absorb a three-group checkpoint."""
+        config = HeteFedRecConfig(
+            dims={"s": 4, "m": 6}, ratios=(1, 1, 0), epochs=1, local_epochs=1
+        )
+        other = HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
+        with pytest.raises(CheckpointMismatchError):
+            load_checkpoint(other, saved)
+
+    def test_missing_users(self, saved, tiny_dataset, tiny_clients):
+        """Trainer clients absent from the checkpoint must raise."""
+        config = HeteFedRecConfig(
+            dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1
+        )
+        other = HeteFedRec(tiny_dataset.num_items, tiny_clients[:-3], config)
+        with pytest.raises(CheckpointMismatchError, match="group assignment"):
+            load_checkpoint(other, saved)
+
+    def test_extra_users(self, trained, tiny_dataset, tiny_clients, tmp_path):
+        """Checkpoint users absent from the trainer must raise too."""
+        config = HeteFedRecConfig(
+            dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1
+        )
+        subset = HeteFedRec(tiny_dataset.num_items, tiny_clients[:-3], config)
+        path = str(tmp_path / "subset.npz")
+        save_checkpoint(subset, path)
+        full = fresh_trainer(tiny_dataset, tiny_clients)
+        with pytest.raises(CheckpointMismatchError, match="group assignment"):
+            load_checkpoint(full, path)
+
+    def test_wrong_dtype(self, saved, tiny_dataset, tiny_clients):
+        other = fresh_trainer(tiny_dataset, tiny_clients, dtype="float32")
+        with pytest.raises(CheckpointMismatchError, match="dtype"):
+            load_checkpoint(other, saved)
+
+    def test_wrong_feature_set(self, saved, tiny_dataset, tiny_clients):
+        """A checkpoint without availability state cannot seed a run
+        that expects a straggler buffer."""
+        other = fresh_trainer(
+            tiny_dataset, tiny_clients,
+            availability=AvailabilityConfig(offline_rate=0.1, straggler_rate=0.1),
+        )
+        with pytest.raises(CheckpointMismatchError, match="features"):
+            load_checkpoint(other, saved)
+
+    def test_wrong_privacy_setting(self, saved, tiny_dataset, tiny_clients):
+        """Privacy protection draws client RNG per upload: enabling it on
+        resume would silently change the stream, so it must raise."""
+        from repro.federated.privacy import PrivacyConfig
+
+        other = fresh_trainer(
+            tiny_dataset, tiny_clients, privacy=PrivacyConfig(clip_norm=1.0)
+        )
+        with pytest.raises(CheckpointMismatchError, match="features"):
+            load_checkpoint(other, saved)
+
+    def test_wrong_training_hyperparameters(self, saved, tiny_dataset, tiny_clients):
+        """lr / local_epochs / clients_per_round / negative_ratio shape
+        every remaining epoch; resuming under different values raises."""
+        for override in (
+            {"lr": 0.1},
+            {"local_epochs": 2},
+            {"clients_per_round": 64},
+            {"negative_ratio": 2},
+        ):
+            other = fresh_trainer(tiny_dataset, tiny_clients, **override)
+            with pytest.raises(CheckpointMismatchError, match="training"):
+                load_checkpoint(other, saved)
+
+    def test_larger_epoch_budget_is_compatible(
+        self, saved, tiny_dataset, tiny_clients
+    ):
+        """Extending the schedule is the point of resuming: not a mismatch."""
+        other = fresh_trainer(tiny_dataset, tiny_clients, epochs=9)
+        load_checkpoint(other, saved)
+
+    def test_different_data_split(self, saved, tiny_dataset):
+        """Same users, same counts, differently permuted train/test split
+        (e.g. a different --seed at the CLI) must raise, not hybridise."""
+        from repro.data.splitting import train_test_split_per_user
+
+        reshuffled = train_test_split_per_user(tiny_dataset, seed=99)
+        other = fresh_trainer(tiny_dataset, reshuffled)
+        with pytest.raises(CheckpointMismatchError, match="data split"):
+            load_checkpoint(other, saved)
+
+    def test_wrong_method(self, saved, tiny_dataset, tiny_clients):
+        from repro.baselines.direct import DirectAggregateTrainer
+
+        config = HeteFedRecConfig(
+            dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1
+        )
+        other = DirectAggregateTrainer(tiny_dataset.num_items, tiny_clients, config)
+        with pytest.raises(CheckpointMismatchError, match="features"):
+            load_checkpoint(other, saved)
+
+    def test_unsupported_format_version(
+        self, trained, tiny_dataset, tiny_clients, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "old.npz")
+        monkeypatch.setattr(checkpoint_module, "FORMAT_VERSION", 1)
+        save_checkpoint(trained, path)
+        monkeypatch.undo()
+        other = fresh_trainer(tiny_dataset, tiny_clients)
+        with pytest.raises(CheckpointMismatchError, match="format version"):
+            load_checkpoint(other, path)
+
+
+class TestDtypePersistence:
+    """The meta sidecar records ``config.dtype``; deploy restores it."""
+
+    @pytest.fixture()
+    def float32_trained(self, tiny_dataset, tiny_clients):
+        config = HeteFedRecConfig(
+            dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1,
+            lr=0.01, seed=0, dtype="float32",
+        )
+        trainer = HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
+        trainer.run_epoch(1)
+        return trainer
+
+    def test_float32_run_deploys_as_float32(self, float32_trained, tmp_path):
+        path = str(tmp_path / "f32.npz")
+        save_checkpoint(float32_trained, path)
+        model, meta = load_inference_model(path, "l")
+        assert meta["dtype"] == "float32"
+        for _, param in model.named_parameters():
+            assert param.data.dtype == np.float32
+        assert np.array_equal(
+            model.item_embedding.weight.data,
+            float32_trained.models["l"].item_embedding.weight.data,
+        )
+
+    def test_float32_roundtrip_into_float32_trainer(
+        self, float32_trained, tiny_dataset, tiny_clients, tmp_path
+    ):
+        path = str(tmp_path / "f32.npz")
+        save_checkpoint(float32_trained, path)
+        other = fresh_trainer(tiny_dataset, tiny_clients, dtype="float32")
+        load_checkpoint(other, path)
+        for group in other.groups:
+            for key, values in other.models[group].state_dict().items():
+                assert values.dtype == np.float32, (group, key)
 
 
 class TestInferenceModel:

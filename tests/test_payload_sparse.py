@@ -127,6 +127,27 @@ class TestSparseRowDelta:
         dense = np.ones((3, 2))
         assert as_dense_delta(dense) is dense
 
+    def test_mixed_dtype_add_promotes(self):
+        """float32 + float64 must not silently downcast the f64 operand."""
+        a = SparseRowDelta(6, np.array([0]), np.ones((1, 2), dtype=np.float32))
+        b = SparseRowDelta(6, np.array([1]), np.full((1, 2), 1e-200))
+        for merged in (a + b, b + a):
+            assert merged.values.dtype == np.float64
+            # 1e-200 underflows float32 to zero; it must survive exactly.
+            np.testing.assert_array_equal(merged.dense()[1], 1e-200)
+        same = a + SparseRowDelta(6, np.array([0]), np.ones((1, 2), np.float32))
+        assert same.values.dtype == np.float32
+
+    def test_mixed_dtype_mul_promotes(self):
+        a = SparseRowDelta(6, np.array([2]), np.ones((1, 3), dtype=np.float32))
+        # Python scalars stay weak: float32 sweeps keep their precision...
+        assert (a * 0.5).values.dtype == np.float32
+        assert (0.5 * a).values.dtype == np.float32
+        # ...but a typed float64 factor must win.
+        scaled = a * np.float64(1e-200)
+        assert scaled.values.dtype == np.float64
+        np.testing.assert_array_equal(scaled.values, 1e-200)
+
 
 class TestAggregationEquivalence:
     def test_padded_aggregate_sum(self, rng):

@@ -1,0 +1,118 @@
+"""Preemption-tolerant grid workers: a killed spec resumes, not restarts.
+
+Pins the PR contract for ``experiments/runner.py``: a worker killed
+mid-run leaves a cache-keyed full-state checkpoint behind; the next
+worker to pick the spec up restores it, trains only the remaining
+epochs, and publishes a result bitwise-identical to an uninterrupted
+run.  Stale or corrupt checkpoints are discarded, and a finished run
+cleans its checkpoint up.
+"""
+
+import os
+from dataclasses import asdict
+
+import pytest
+
+import repro.experiments.runner as runner
+from repro.experiments.runner import RunSpec, run_spec
+from repro.federated.trainer import FederatedTrainer
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setattr(runner, "CACHE_DIR", str(tmp_path / "cache"))
+    yield
+
+
+@pytest.fixture()
+def epoch_recorder(monkeypatch):
+    """Record every epoch actually trained, with an optional kill switch."""
+    state = {"trained": [], "die_at": None}
+    original = FederatedTrainer.run_epoch
+
+    def wrapped(self, epoch):
+        if state["die_at"] is not None and epoch == state["die_at"]:
+            raise KeyboardInterrupt("simulated preemption")
+        state["trained"].append(epoch)
+        return original(self, epoch)
+
+    monkeypatch.setattr(FederatedTrainer, "run_epoch", wrapped)
+    return state
+
+
+SPEC = RunSpec("ml", "hetefedrec", profile="smoke")
+
+
+def checkpoint_path():
+    return runner._spec_checkpoint_path(SPEC.key())
+
+
+class TestWorkerResume:
+    def test_killed_spec_resumes_from_checkpoint(self, epoch_recorder):
+        truth = runner._train_spec(SPEC)  # clean, stateless ground truth
+
+        epoch_recorder["die_at"] = 2
+        with pytest.raises(KeyboardInterrupt):
+            run_spec(SPEC)  # dies mid-schedule, after the epoch-1 autosave
+        assert os.path.exists(checkpoint_path())
+        assert runner._load_cached(SPEC.key()) is None
+
+        epoch_recorder["die_at"] = None
+        epoch_recorder["trained"].clear()
+        result = run_spec(SPEC)
+        # Only the remaining epoch trained (smoke profile = 2 epochs)...
+        assert epoch_recorder["trained"] == [2]
+        # ...yet the published result is the uninterrupted run's, exactly.
+        assert asdict(result) == asdict(truth)
+        # Completion cleans the checkpoint up and publishes the cache entry.
+        assert not os.path.exists(checkpoint_path())
+        assert runner._load_cached(SPEC.key()) is not None
+
+    def test_corrupt_checkpoint_restarts_cleanly(self, epoch_recorder):
+        truth = runner._train_spec(SPEC)
+        epoch_recorder["trained"].clear()
+        os.makedirs(runner.CACHE_DIR, exist_ok=True)
+        with open(checkpoint_path(), "wb") as handle:
+            handle.write(b"not a checkpoint")
+
+        result = run_spec(SPEC)
+        assert epoch_recorder["trained"] == [1, 2]  # full restart
+        assert asdict(result) == asdict(truth)
+        assert not os.path.exists(checkpoint_path())
+
+    def test_checkpoint_outlives_a_failed_publish(
+        self, epoch_recorder, monkeypatch
+    ):
+        """The checkpoint is deleted only after the cache entry lands: a
+        kill between training and publishing must not lose the run."""
+
+        def failing_store(key, result):
+            raise KeyboardInterrupt("killed while publishing")
+
+        monkeypatch.setattr(runner, "_store_cached", failing_store)
+        with pytest.raises(KeyboardInterrupt):
+            run_spec(SPEC)
+        # The final-epoch autosave survives, so the next worker resumes
+        # (fit is a no-op) instead of retraining from scratch.
+        assert os.path.exists(checkpoint_path())
+        monkeypatch.undo()
+        epoch_recorder["trained"].clear()
+        result = run_spec(SPEC)
+        assert epoch_recorder["trained"] == []  # nothing retrained
+        assert asdict(result) == asdict(runner._train_spec(SPEC))
+        assert not os.path.exists(checkpoint_path())
+
+    def test_stateless_runs_never_touch_checkpoints(self, epoch_recorder):
+        run_spec(SPEC, use_cache=False)
+        assert not os.path.isdir(runner.CACHE_DIR) or not os.listdir(
+            runner.CACHE_DIR
+        )
+
+    def test_clear_cache_sweeps_orphaned_checkpoints(self, epoch_recorder):
+        epoch_recorder["die_at"] = 2
+        with pytest.raises(KeyboardInterrupt):
+            run_spec(SPEC)
+        assert os.path.exists(checkpoint_path())
+        runner.clear_cache()
+        assert not os.path.exists(checkpoint_path())
+        assert not os.path.exists(checkpoint_path() + ".meta.json")
