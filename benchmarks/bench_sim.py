@@ -1,0 +1,177 @@
+"""Benchmark: population-scale throughput of the event-driven simulator.
+
+Pushes a full baseline scenario — dispatch, latency draws, buffered
+aggregation, memmap-backed user state — through
+:func:`repro.sim.scenarios.run_scenario` at :math:`10^5` clients and
+reports client throughput plus peak resident memory:
+
+* ``clients_per_second`` — simulated clients divided by wall-clock time
+  of the scenario run (the number the memmap store and the vectorized
+  surrogate fleet exist to keep high);
+* ``peak_rss_mb``        — ``ru_maxrss`` after the run: the whole-process
+  high-water mark, which the sharded user store keeps orders of
+  magnitude below a dense per-user state table;
+* ``deterministic``      — two same-seed small-scale runs must produce
+  identical :meth:`ScenarioResult.fingerprint` payloads (hard gate).
+
+Results go to ``BENCH_sim.json``:
+
+    PYTHONPATH=src python benchmarks/bench_sim.py
+
+``--quick`` shrinks the population for CI; ``--check BASELINE`` compares
+throughput against a committed baseline and exits non-zero when it falls
+below ``--check-tolerance`` × the baseline value or the RSS ceiling is
+breached — determinism is always enforced:
+
+    PYTHONPATH=src python benchmarks/bench_sim.py \
+        --quick --check BENCH_sim.json --out bench_sim_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from typing import Dict
+
+from repro.sim.config import SimulationConfig
+from repro.sim.scenarios import run_scenario
+
+FULL_CLIENTS = 100_000
+QUICK_CLIENTS = 5_000
+
+
+def scale_config(num_clients: int) -> SimulationConfig:
+    return SimulationConfig(
+        num_clients=num_clients, num_items=500, dim=8, items_per_client=16,
+        clients_per_round=512, epochs=1, seed=0,
+    )
+
+
+def peak_rss_mb() -> float:
+    """Process high-water resident set, in MiB (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_benchmark(quick: bool = False) -> Dict:
+    # Determinism first, at small scale: same seed ⇒ identical fingerprint.
+    small = SimulationConfig(
+        num_clients=400, num_items=200, dim=8, items_per_client=8,
+        clients_per_round=32, epochs=1, seed=0,
+    )
+    deterministic = (
+        run_scenario("baseline", small).fingerprint()
+        == run_scenario("baseline", small).fingerprint()
+    )
+
+    num_clients = QUICK_CLIENTS if quick else FULL_CLIENTS
+    config = scale_config(num_clients)
+    start = time.perf_counter()
+    result = run_scenario("baseline", config)
+    wall_seconds = time.perf_counter() - start
+
+    return {
+        "benchmark": "sim",
+        "config": {
+            "num_clients": num_clients,
+            "num_items": config.num_items,
+            "dim": config.dim,
+            "items_per_client": config.items_per_client,
+            "clients_per_round": config.clients_per_round,
+            "quick": quick,
+        },
+        "clients_simulated": result.clients_simulated,
+        "events_processed": result.events_processed,
+        "rounds_applied": result.rounds_applied,
+        "wall_seconds": wall_seconds,
+        "clients_per_second": result.clients_simulated / wall_seconds,
+        "peak_rss_mb": peak_rss_mb(),
+        "deterministic": deterministic,
+    }
+
+
+def check_regression(report: Dict, baseline_path: str, tolerance: float) -> bool:
+    """Gate a fresh report against a committed baseline.
+
+    Determinism is a hard requirement.  Throughput must reach at least
+    ``tolerance`` × the baseline's ``clients_per_second``, and peak RSS
+    must stay under baseline ÷ ``tolerance`` — both only when the
+    baseline ran at the same population scale (a --quick run is not
+    comparable to the committed full-scale numbers).
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    ok = True
+    if not report["deterministic"]:
+        print("[check] deterministic: FAILED — same-seed fingerprints diverged")
+        ok = False
+    else:
+        print("[check] deterministic: ok")
+    if report["config"]["num_clients"] != baseline["config"]["num_clients"]:
+        print(
+            f"[check] scale mismatch ({report['config']['num_clients']:,} vs "
+            f"baseline {baseline['config']['num_clients']:,}): "
+            "throughput/RSS floors skipped"
+        )
+        return ok
+    floor = tolerance * baseline["clients_per_second"]
+    measured = report["clients_per_second"]
+    verdict = "ok" if measured >= floor else "REGRESSION"
+    if measured < floor:
+        ok = False
+    print(
+        f"[check] clients_per_second: measured {measured:,.0f} vs baseline "
+        f"{baseline['clients_per_second']:,.0f} (floor {floor:,.0f}) — {verdict}"
+    )
+    ceiling = baseline["peak_rss_mb"] / tolerance
+    verdict = "ok" if report["peak_rss_mb"] <= ceiling else "REGRESSION"
+    if report["peak_rss_mb"] > ceiling:
+        ok = False
+    print(
+        f"[check] peak_rss_mb: measured {report['peak_rss_mb']:.1f} vs "
+        f"baseline {baseline['peak_rss_mb']:.1f} (ceiling {ceiling:.1f}) "
+        f"— {verdict}"
+    )
+    return ok
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_sim.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI-sized population ({QUICK_CLIENTS:,} clients instead of "
+        f"{FULL_CLIENTS:,})",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE_JSON",
+        help="compare throughput/RSS/determinism against this committed "
+        "baseline and exit non-zero on a regression",
+    )
+    parser.add_argument(
+        "--check-tolerance", type=float, default=0.4,
+        help="fraction of the baseline throughput the measured value must "
+        "reach (and 1/fraction the RSS may grow to; default: 0.4)",
+    )
+    args = parser.parse_args()
+
+    report = run_benchmark(quick=args.quick)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        f"simulated {report['clients_simulated']:,} clients "
+        f"({report['events_processed']:,} events, "
+        f"{report['rounds_applied']:,} rounds) in "
+        f"{report['wall_seconds']:.2f}s — "
+        f"{report['clients_per_second']:,.0f} clients/sec, peak RSS "
+        f"{report['peak_rss_mb']:.1f} MiB; deterministic: "
+        f"{report['deterministic']}; wrote {args.out}"
+    )
+    if args.check and not check_regression(report, args.check, args.check_tolerance):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,10 @@ Subcommands
     Print Table I-style statistics for a (synthetic or on-disk) dataset.
 ``search``
     Successive-halving search over division ratios and model sizes.
+``simulate``
+    Run a named fault-injection scenario from :mod:`repro.sim` against
+    the population-scale surrogate fleet and print its deterministic
+    accounting (rounds applied/short/skipped, wire bytes, drops).
 
 Every subcommand is a thin shell over the public library API — anything
 the CLI does is one import away in a notebook.
@@ -142,6 +146,29 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim import SimulationConfig
+    from repro.sim.scenarios import run_scenario
+
+    base = SimulationConfig(
+        num_clients=args.clients,
+        num_items=args.items,
+        dim=args.dim,
+        epochs=args.epochs,
+        clients_per_round=args.clients_per_round,
+        seed=args.seed,
+    )
+    result = run_scenario(args.scenario, base, store_dir=args.store_dir)
+    if args.json:
+        print(json.dumps(result.fingerprint(), indent=2, sort_keys=True))
+    else:
+        for line in result.summary_lines():
+            print(line)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -202,6 +229,30 @@ def build_parser() -> argparse.ArgumentParser:
     search_parser.add_argument("--clients-per-round", type=int, default=64)
     search_parser.add_argument("--epochs-per-rung", type=int, default=1)
     search_parser.set_defaults(func=_cmd_search)
+
+    sim_parser = subparsers.add_parser(
+        "simulate", help="run a fault-injection scenario (repro.sim)"
+    )
+    sim_parser.add_argument(
+        "scenario",
+        help="catalogue name: baseline, dropout_storm, straggler_flood, "
+        "duplicate_uploads, flapping, poisoning",
+    )
+    sim_parser.add_argument("--clients", type=int, default=1000)
+    sim_parser.add_argument("--items", type=int, default=500)
+    sim_parser.add_argument("--dim", type=int, default=8)
+    sim_parser.add_argument("--epochs", type=int, default=1)
+    sim_parser.add_argument("--clients-per-round", type=int, default=64)
+    sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="directory for the memmap user store (default: temporary)",
+    )
+    sim_parser.add_argument(
+        "--json", action="store_true",
+        help="print the full deterministic fingerprint as JSON",
+    )
+    sim_parser.set_defaults(func=_cmd_simulate)
 
     return parser
 

@@ -41,9 +41,12 @@ atomic) and a worker picking the same spec up after a
 kill restores it and continues the run bitwise-identically — the result
 published to the cache is the one the uninterrupted run would have
 produced (see :mod:`repro.federated.checkpoint`).  A stale, corrupt or
-incompatible checkpoint is discarded and the spec restarts cleanly; the
-checkpoint is deleted once the result is published.  ``use_cache=False``
-runs stay fully stateless (no checkpoint reads or writes).
+incompatible checkpoint makes the spec restart cleanly — but it is
+*quarantined* as ``{key}.ckpt.corrupt`` (with a ``RuntimeWarning``
+naming it), never silently deleted, so fault post-mortems can inspect
+what the crashed writer left behind.  The checkpoint is deleted once
+the result is published.  ``use_cache=False`` runs stay fully stateless
+(no checkpoint reads or writes).
 """
 
 from __future__ import annotations
@@ -52,6 +55,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 import zipfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, astuple, dataclass
@@ -258,6 +262,33 @@ def _spec_checkpoint_path(key: str) -> str:
     return os.path.join(CACHE_DIR, f"{key}.ckpt.npz")
 
 
+def _quarantine_checkpoint(ckpt_path: str, error: Exception) -> str:
+    """Move an unreadable checkpoint aside instead of deleting it.
+
+    A corrupt ``.ckpt.npz`` is evidence — a torn write, a stale format, a
+    bad disk — and silently restarting erases the trail.  The file moves
+    to ``{key}.ckpt.corrupt`` (overwriting any earlier quarantine for the
+    same key: the newest corpse is the interesting one) and a
+    ``RuntimeWarning`` records why it was set aside.
+    """
+    quarantine = ckpt_path[: -len(".npz")] + ".corrupt" if ckpt_path.endswith(
+        ".npz"
+    ) else ckpt_path + ".corrupt"
+    try:
+        os.replace(ckpt_path, quarantine)
+    except OSError:
+        # The checkpoint vanished under us (concurrent worker); nothing
+        # to preserve.
+        return quarantine
+    warnings.warn(
+        f"checkpoint {ckpt_path} could not be restored ({type(error).__name__}: "
+        f"{error}); quarantined as {quarantine} and restarting the run cleanly",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return quarantine
+
+
 def _train_spec(spec: RunSpec, checkpoint: bool = False) -> RunResult:
     """Train one spec (no cache involvement) — deterministic in the spec.
 
@@ -295,10 +326,12 @@ def _train_spec(spec: RunSpec, checkpoint: bool = False) -> RunResult:
     if ckpt_path is not None and os.path.exists(ckpt_path):
         try:
             load_checkpoint(trainer, ckpt_path)
-        except (CheckpointMismatchError, KeyError, ValueError, OSError, zipfile.BadZipFile):
-            # Stale/corrupt/incompatible leftovers: discard them and the
-            # (possibly partially mutated) trainer, restart cleanly.
-            remove_checkpoint(ckpt_path)
+        except (CheckpointMismatchError, KeyError, ValueError, OSError, zipfile.BadZipFile) as error:
+            # Stale/corrupt/incompatible leftovers: quarantine the file
+            # (post-mortems need the evidence), warn, then discard the
+            # (possibly partially mutated) trainer and restart cleanly.
+            _quarantine_checkpoint(ckpt_path, error)
+            remove_checkpoint(ckpt_path)  # sweeps the sidecar manifest
             trainer = build_method(spec.method, data.num_items, clients, config)
     evaluator = Evaluator(clients, k=config.eval_k)
 
@@ -474,8 +507,9 @@ def clear_cache() -> int:
         return 0
     removed = 0
     for name in os.listdir(CACHE_DIR):
-        if name.endswith(".ckpt.npz") or name.endswith(".ckpt.npz.meta.json"):
-            # Resume checkpoints of killed runs; not result entries.
+        if name.endswith((".ckpt.npz", ".ckpt.npz.meta.json", ".ckpt.corrupt")):
+            # Resume checkpoints of killed runs (and quarantined corrupt
+            # ones); not result entries.
             os.remove(os.path.join(CACHE_DIR, name))
         elif name.endswith(".json"):
             os.remove(os.path.join(CACHE_DIR, name))

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 
 from repro.federated.payload import ClientUpdate
@@ -40,11 +40,19 @@ class AvailabilityConfig:
     remains is the on-time probability.  ``staleness_weight`` scales a
     straggler's update when it is finally applied (1.0 = apply as-is;
     the FedBuff-style discount is < 1).
+
+    ``buffer_max_age_rounds`` bounds how many aggregation rounds a
+    buffered update may wait before it is evicted unapplied (counted in
+    ``CommunicationMeter.dropped_updates``): ``None`` keeps updates
+    forever (the historical behaviour), ``0`` discards stragglers
+    outright, ``1`` is the sync trainer's natural cadence (buffered this
+    round, applied the next).
     """
 
     offline_rate: float = 0.1
     straggler_rate: float = 0.1
     staleness_weight: float = 0.5
+    buffer_max_age_rounds: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -60,6 +68,11 @@ class AvailabilityConfig:
         if not 0.0 <= self.staleness_weight <= 1.0:
             raise ValueError(
                 f"staleness_weight must be in [0, 1], got {self.staleness_weight}"
+            )
+        if self.buffer_max_age_rounds is not None and self.buffer_max_age_rounds < 0:
+            raise ValueError(
+                "buffer_max_age_rounds must be None or >= 0, got "
+                f"{self.buffer_max_age_rounds}"
             )
 
     @property
@@ -155,34 +168,99 @@ def merge_duplicate_users(updates: Sequence[ClientUpdate]) -> List[ClientUpdate]
 
 
 class StragglerBuffer:
-    """Holds late updates until the next round applies them, down-weighted."""
+    """Holds late updates until a later round applies them, down-weighted.
 
-    def __init__(self, staleness_weight: float = 0.5) -> None:
+    The buffer is the asynchronous-aggregation primitive of this repo:
+    the synchronous trainer uses it for one-round-late stragglers, the
+    event-driven simulator (:mod:`repro.sim.async_server`) generalises it
+    into FedBuff-style buffered aggregation via the per-add ``weight``
+    override (staleness-dependent discounts) and the max-age eviction
+    policy (``tick`` advances one aggregation round and expels updates
+    that waited longer than ``max_age_rounds``, counting them in
+    ``dropped_updates`` instead of letting them vanish silently).
+    """
+
+    def __init__(
+        self,
+        staleness_weight: float = 0.5,
+        max_age_rounds: Optional[int] = None,
+    ) -> None:
         self.staleness_weight = staleness_weight
-        self._pending: List[ClientUpdate] = []
+        self.max_age_rounds = max_age_rounds
+        #: ``[age_in_rounds, update]`` pairs; age 0 = added this round.
+        self._pending: List[List] = []
+        self.dropped_updates = 0
 
-    def add(self, updates: Iterable[ClientUpdate]) -> None:
+    def add(
+        self, updates: Iterable[ClientUpdate], weight: Optional[float] = None
+    ) -> None:
+        """Buffer ``updates``, scaled once on entry.
+
+        ``weight`` overrides the default staleness discount (the async
+        server computes it per update from the observed staleness);
+        ``weight == 1.0`` stores the update object untouched, keeping
+        zero-staleness paths bitwise-identical to direct application.
+        """
+        factor = self.staleness_weight if weight is None else weight
         for update in updates:
-            self._pending.append(update.scaled(self.staleness_weight))
+            scaled = update if factor == 1.0 else update.scaled(factor)
+            self._pending.append([0, scaled])
+
+    def tick(self) -> List[ClientUpdate]:
+        """Advance one aggregation round; return the updates that expired.
+
+        Every buffered update ages by one round; those now older than
+        ``max_age_rounds`` are evicted and returned (callers account them
+        — they are dropped *data*, not dropped *bytes*: their upload cost
+        already happened).  With ``max_age_rounds=None`` nothing ever
+        expires and this only ages entries.
+        """
+        evicted: List[ClientUpdate] = []
+        kept: List[List] = []
+        for entry in self._pending:
+            entry[0] += 1
+            if self.max_age_rounds is not None and entry[0] > self.max_age_rounds:
+                evicted.append(entry[1])
+            else:
+                kept.append(entry)
+        self._pending = kept
+        self.dropped_updates += len(evicted)
+        return evicted
 
     def drain(self) -> List[ClientUpdate]:
         """Pop everything buffered (applied together with the next round)."""
-        drained, self._pending = self._pending, []
+        drained, self._pending = [update for _, update in self._pending], []
         return drained
 
     def export_pending(self) -> List[ClientUpdate]:
         """Buffered updates as stored (already staleness-scaled) — used by
         checkpointing, which must persist them without re-weighting."""
-        return list(self._pending)
+        return [update for _, update in self._pending]
 
-    def restore_pending(self, updates: Iterable[ClientUpdate]) -> None:
+    def export_ages(self) -> List[int]:
+        """Per-entry ages, aligned with :meth:`export_pending`."""
+        return [int(age) for age, _ in self._pending]
+
+    def restore_pending(
+        self,
+        updates: Iterable[ClientUpdate],
+        ages: Optional[Sequence[int]] = None,
+    ) -> None:
         """Replace the buffer with checkpointed updates, verbatim (no
-        re-scaling: they were scaled once when originally added)."""
-        self._pending = list(updates)
+        re-scaling: they were scaled once when originally added).  ``ages``
+        restores eviction clocks; absent (older checkpoints) they reset."""
+        updates = list(updates)
+        if ages is None:
+            ages = [0] * len(updates)
+        if len(ages) != len(updates):
+            raise ValueError(
+                f"{len(ages)} ages for {len(updates)} buffered updates"
+            )
+        self._pending = [[int(age), update] for age, update in zip(ages, updates)]
 
     def discard_user(self, user_id: int) -> None:
         """Drop any buffered update from ``user_id`` (client retirement)."""
-        self._pending = [u for u in self._pending if u.user_id != user_id]
+        self._pending = [e for e in self._pending if e[1].user_id != user_id]
 
     def __len__(self) -> int:
         return len(self._pending)

@@ -348,6 +348,9 @@ def _collect(trainer) -> Tuple[Dict[str, np.ndarray], dict]:
         meta["straggler"] = _pack_updates(
             "straggler", trainer._straggler_buffer.export_pending(), arrays
         )
+        # Eviction clocks ride along so a resumed run expires buffered
+        # updates on the same round the uninterrupted run would have.
+        meta["straggler_ages"] = trainer._straggler_buffer.export_ages()
     if trainer._compressor is not None:
         meta["residuals"] = _pack_residuals(
             trainer._compressor.export_residuals(), arrays
@@ -510,7 +513,8 @@ def load_checkpoint(trainer, path: str) -> None:
             trainer._server_opt.load_moments(momentum, second)
         if trainer._straggler_buffer is not None:
             trainer._straggler_buffer.restore_pending(
-                _unpack_updates("straggler", meta.get("straggler", []), archive)
+                _unpack_updates("straggler", meta.get("straggler", []), archive),
+                ages=meta.get("straggler_ages"),
             )
         if trainer._compressor is not None:
             trainer._compressor.restore_residuals(

@@ -7,7 +7,13 @@ Two complementary views:
   Table III (``size(V_a + Θ_...)`` in scalar parameters);
 * :class:`CommunicationMeter` — an *empirical* meter the trainer feeds
   with every simulated download/upload, so experiments can report measured
-  totals alongside the analytic ones.
+  totals alongside the analytic ones;
+* :class:`NetworkStats` — a *message-level* ledger for the event-driven
+  simulator (:mod:`repro.sim`): every delivery attempt is one record with
+  its direction, wire cost and latency, so scenarios can report
+  ``total_bytes`` / ``messages_delivered`` next to retries, drops and
+  bytes wasted on failed attempts.  The meter answers "how much moved per
+  client-round"; the stats answer "what actually happened on the wire".
 """
 
 from __future__ import annotations
@@ -78,6 +84,10 @@ class CommunicationMeter:
     downloads: Dict[str, int] = field(default_factory=dict)
     uploads: Dict[str, int] = field(default_factory=dict)
     client_rounds: int = 0
+    #: Buffered updates that aged past the straggler buffer's max-age
+    #: policy and were evicted unapplied — they crossed the wire (their
+    #: cost stays in ``uploads``) but never reached aggregation.
+    dropped_updates: int = 0
 
     def record(self, group: str, download: int, upload: int) -> None:
         self.downloads[group] = self.downloads.get(group, 0) + int(download)
@@ -108,6 +118,7 @@ class CommunicationMeter:
             "downloads": dict(self.downloads),
             "uploads": dict(self.uploads),
             "client_rounds": int(self.client_rounds),
+            "dropped_updates": int(self.dropped_updates),
         }
 
     def load_state(self, state: Mapping[str, object]) -> None:
@@ -115,6 +126,9 @@ class CommunicationMeter:
         self.downloads = {g: int(v) for g, v in dict(state["downloads"]).items()}
         self.uploads = {g: int(v) for g, v in dict(state["uploads"]).items()}
         self.client_rounds = int(state["client_rounds"])
+        # Checkpoints written before the eviction policy existed carry no
+        # drop counter; those runs never dropped anything.
+        self.dropped_updates = int(state.get("dropped_updates", 0))
 
     def summary(self) -> Dict[str, Tuple[int, int]]:
         """``{group: (download, upload)}`` totals."""
@@ -122,4 +136,83 @@ class CommunicationMeter:
         return {
             group: (self.downloads.get(group, 0), self.uploads.get(group, 0))
             for group in groups
+        }
+
+
+@dataclass
+class NetworkStats:
+    """Per-message wire accounting for the event-driven simulator.
+
+    Every *attempt* to move a payload is recorded exactly once: a
+    delivered message contributes its full wire cost to the directional
+    byte counters, a dropped/timed-out attempt contributes the bytes it
+    burned before failing to ``bytes_wasted``.  Latency is accumulated
+    over delivered uploads only (downloads are modelled as instantaneous
+    snapshot reads at dispatch).  All costs are in scalar-equivalents,
+    the unit every other accounting surface of this repo uses.
+    """
+
+    bytes_down: float = 0.0
+    bytes_up: float = 0.0
+    bytes_wasted: float = 0.0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    retries: int = 0
+    duplicates_delivered: int = 0
+    latency_total: float = 0.0
+    latency_max: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Everything that touched the wire, including wasted attempts."""
+        return self.bytes_down + self.bytes_up + self.bytes_wasted
+
+    @property
+    def mean_latency(self) -> float:
+        if self.messages_delivered == 0:
+            return 0.0
+        return self.latency_total / self.messages_delivered
+
+    def record_download(self, size: float) -> None:
+        self.messages_sent += 1
+        self.messages_delivered += 1
+        self.bytes_down += float(size)
+
+    def record_delivery(
+        self, size: float, latency: float, duplicate: bool = False, retry: bool = False
+    ) -> None:
+        """A successful upload arrival (possibly a retry or a duplicate)."""
+        self.messages_sent += 1
+        self.messages_delivered += 1
+        self.bytes_up += float(size)
+        self.latency_total += float(latency)
+        self.latency_max = max(self.latency_max, float(latency))
+        if duplicate:
+            self.duplicates_delivered += 1
+        if retry:
+            self.retries += 1
+
+    def record_drop(self, wasted: float, retry: bool = False) -> None:
+        """A failed upload attempt: ``wasted`` bytes made it onto the wire."""
+        self.messages_sent += 1
+        self.messages_dropped += 1
+        self.bytes_wasted += float(wasted)
+        if retry:
+            self.retries += 1
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-serialisable snapshot (fingerprints and bench reports)."""
+        return {
+            "bytes_down": float(self.bytes_down),
+            "bytes_up": float(self.bytes_up),
+            "bytes_wasted": float(self.bytes_wasted),
+            "total_bytes": float(self.total_bytes),
+            "messages_sent": int(self.messages_sent),
+            "messages_delivered": int(self.messages_delivered),
+            "messages_dropped": int(self.messages_dropped),
+            "retries": int(self.retries),
+            "duplicates_delivered": int(self.duplicates_delivered),
+            "latency_total": float(self.latency_total),
+            "latency_max": float(self.latency_max),
         }

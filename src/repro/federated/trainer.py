@@ -160,10 +160,19 @@ class FederatedTrainer:
             else None
         )
         self._straggler_buffer = (
-            StragglerBuffer(config.availability.staleness_weight)
+            StragglerBuffer(
+                config.availability.staleness_weight,
+                max_age_rounds=config.availability.buffer_max_age_rounds,
+            )
             if config.availability is not None and config.availability.enabled
             else None
         )
+        #: Pluggable client-participation source: when set, a callable
+        #: ``(trainer, epoch) -> iterable of per-round user-id lists``
+        #: replaces the built-in shuffled-queue traversal.  The
+        #: event-driven simulator uses this seam to drive cohorts from
+        #: arrival traces; ``None`` keeps the paper's schedule.
+        self.participation_source = None
         if (
             config.secure_aggregation is not None
             and type(self).aggregate_embeddings is not FederatedTrainer.aggregate_embeddings
@@ -506,19 +515,39 @@ class FederatedTrainer:
     # ------------------------------------------------------------------
     # Training loop
     # ------------------------------------------------------------------
+    def participation_rounds(self, epoch: int) -> List[List[int]]:
+        """The per-round client cohorts of one epoch, in traversal order.
+
+        The single site that consumes the permutation RNG: the default
+        source shuffles the client queue once and chunks it into rounds
+        of ``clients_per_round`` (Section V-D).  A pluggable
+        ``participation_source`` replaces the schedule wholesale — the
+        simulator's arrival models plug in here — while any consumer
+        (``run_epoch`` or the async server) sees the same contract.
+        """
+        if self.participation_source is not None:
+            return [
+                [int(u) for u in cohort]
+                for cohort in self.participation_source(self, epoch)
+            ]
+        queue = self._rng.permutation([c.user_id for c in self.clients])
+        step = self.config.clients_per_round
+        return [
+            [int(u) for u in queue[start : start + step]]
+            for start in range(0, len(queue), step)
+        ]
+
     def run_epoch(self, epoch: int) -> float:
         """One traversal of the shuffled client queue; returns mean loss.
 
         With availability simulation enabled, offline clients never train
         this round and stragglers' updates land (down-weighted) in the
-        *next* round's aggregation — see :mod:`repro.federated.availability`.
+        *next* round's aggregation — or are evicted unapplied once they
+        age past ``buffer_max_age_rounds``, counted in
+        ``meter.dropped_updates`` — see :mod:`repro.federated.availability`.
         """
-        queue = self._rng.permutation([c.user_id for c in self.clients])
         losses: List[float] = []
-        step = self.config.clients_per_round
-        for round_index, start in enumerate(range(0, len(queue), step)):
-            round_users = [int(u) for u in queue[start : start + step]]
-
+        for round_index, round_users in enumerate(self.participation_rounds(epoch)):
             if self._straggler_buffer is not None:
                 on_time, stragglers, _offline = split_round(
                     self.config.availability, epoch, round_index, round_users
@@ -531,6 +560,8 @@ class FederatedTrainer:
             losses.extend(u.train_loss for u in updates)
 
             if self._straggler_buffer is not None:
+                evicted = self._straggler_buffer.tick()
+                self.meter.dropped_updates += len(evicted)
                 updates = merge_duplicate_users(
                     self._straggler_buffer.drain() + updates
                 )

@@ -1,0 +1,152 @@
+"""Population-scale surrogate client fleet.
+
+Driving real :class:`~repro.federated.client.ClientRuntime` training for
+:math:`10^5` clients is neither feasible nor necessary for studying the
+*protocol* (scheduling, buffering, retries, accounting): the server-side
+machinery only sees :class:`~repro.federated.payload.ClientUpdate`
+objects.  :class:`SurrogateFleet` produces structurally faithful updates
+— row-sparse embedding deltas over a handful of touched items, example
+counts, decaying losses — from cheap vectorised draws, with per-user
+state held in a :class:`~repro.sim.user_store.MemmapUserStore` so the
+resident footprint stays bounded no matter the population size.
+
+Every draw comes from the fleet's owned ``population`` stream (and the
+``attack`` stream for poisoning), so a scenario's updates are a pure
+function of its seed.  Malicious clients run the real
+:mod:`repro.robustness.attacks` transformations over their honest
+surrogate updates — spam/poisoning at population scale exercises the
+identical code path the robustness harness evaluates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.federated.payload import ClientUpdate, SparseRowDelta
+from repro.robustness.attacks import AttackConfig, poison_update
+from repro.sim.config import SimulationConfig
+from repro.sim.user_store import MemmapUserStore
+
+#: The single pseudo-group surrogate updates belong to.
+SURROGATE_GROUP = "s"
+
+
+class SurrogateFleet:
+    """Backend protocol implementation over synthetic clients."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        store_dir: str,
+        rng: np.random.Generator,
+        attack: Optional[AttackConfig] = None,
+        attack_rng: Optional[np.random.Generator] = None,
+        shard_size: int = 4096,
+        max_open_shards: int = 8,
+    ) -> None:
+        self.config = config
+        self._rng = rng
+        self.item_table = np.zeros(
+            (config.num_items, config.dim), dtype=np.float64
+        )
+        self.store = MemmapUserStore(
+            store_dir,
+            num_users=config.num_clients,
+            dim=config.dim,
+            shard_size=shard_size,
+            max_open_shards=max_open_shards,
+            seed=config.seed,
+        )
+        self.attack = attack
+        self._attack_rng = attack_rng
+        self.malicious: Set[int] = set()
+        if attack is not None and attack.fraction > 0.0:
+            if attack_rng is None:
+                raise ValueError("an attack needs its owned attack stream")
+            count = int(round(config.num_clients * attack.fraction))
+            if count:
+                chosen = attack_rng.choice(
+                    config.num_clients, size=count, replace=False
+                )
+                self.malicious = {int(u) for u in chosen}
+        self.poisoned_updates = 0
+        self._version_decay = 0.05
+
+    @property
+    def num_clients(self) -> int:
+        return self.config.num_clients
+
+    # ------------------------------------------------------------------
+    # Backend protocol
+    # ------------------------------------------------------------------
+    def participation_rounds(self, epoch: int) -> List[List[int]]:
+        queue = self._rng.permutation(self.config.num_clients)
+        step = self.config.clients_per_round
+        return [
+            [int(u) for u in queue[start:start + step]]
+            for start in range(0, len(queue), step)
+        ]
+
+    def train(self, users: Sequence[int], version: int) -> List[ClientUpdate]:
+        cfg = self.config
+        ids = np.asarray(list(users), dtype=np.int64)
+        count = ids.size
+        k, dim = cfg.items_per_client, cfg.dim
+        decay = 1.0 / (1.0 + self._version_decay * version)
+
+        # One vectorised draw per quantity — per-user loops below only
+        # reshape, never touch the stream, so the draw count (and thus
+        # determinism) depends only on cohort sizes.
+        items = self._rng.integers(0, cfg.num_items, size=(count, k))
+        item_moves = self._rng.normal(0.0, 0.01 * decay, size=(count, k, dim))
+        user_moves = self._rng.normal(0.0, 0.005 * decay, size=(count, dim))
+        loss_noise = self._rng.normal(0.0, 0.01, size=count)
+
+        rows_before = self.store.read(ids).astype(np.float64)
+        self.store.write(ids, rows_before + user_moves)
+
+        updates: List[ClientUpdate] = []
+        for i in range(count):
+            rows, inverse = np.unique(items[i], return_inverse=True)
+            values = np.zeros((rows.size, dim), dtype=np.float64)
+            np.add.at(values, inverse, item_moves[i])
+            update = ClientUpdate(
+                user_id=int(ids[i]),
+                group=SURROGATE_GROUP,
+                embedding_delta=SparseRowDelta(cfg.num_items, rows, values),
+                head_deltas={},
+                num_examples=k,
+                train_loss=float(0.6931 * decay + loss_noise[i]),
+            )
+            if update.user_id in self.malicious:
+                update = poison_update(update, self.attack, self._attack_rng)
+                self.poisoned_updates += 1
+            updates.append(update)
+        return updates
+
+    def apply(self, updates: Sequence[ClientUpdate]) -> None:
+        lr = self.config.server_lr
+        for update in updates:
+            delta = update.embedding_delta
+            if isinstance(delta, SparseRowDelta):
+                self.item_table[delta.rows] += lr * delta.values
+            else:
+                self.item_table += lr * np.asarray(delta)
+
+    def end_epoch(self, epoch: int, losses: Sequence[float]) -> None:
+        self.store.flush()
+
+    def download_size(self, user_id: int) -> float:
+        return float(self.config.num_items * self.config.dim)
+
+    def digest(self) -> str:
+        digest = hashlib.sha256(b"item_table")
+        digest.update(np.ascontiguousarray(self.item_table).tobytes())
+        digest.update(self.store.digest().encode())
+        return digest.hexdigest()
+
+    def close(self) -> None:
+        self.store.close()

@@ -1,0 +1,132 @@
+"""The scenario catalogue: named, reproducible fault-injection setups.
+
+Each scenario module exports ``NAME`` and ``build(base) -> ScenarioSpec``
+— a :class:`~repro.sim.config.SimulationConfig` derived from the caller's
+base plus (optionally) a :class:`~repro.robustness.attacks.AttackConfig`
+applied by the surrogate fleet.  :func:`run_scenario` wires spec → fleet
+→ :class:`~repro.sim.async_server.AsyncFedServer` and returns the
+deterministic :class:`~repro.sim.config.ScenarioResult`.
+
+Fault families covered (each asserted by the test suite):
+
+* ``dropout_storm`` — mass upload failure + retry/backoff exhaustion;
+* ``straggler_flood`` — heavy-tailed latency against round deadlines,
+  staleness-discounted buffered aggregation, max-age eviction;
+* ``duplicate_uploads`` — retries racing their originals, exercising
+  ``merge_duplicate_users`` in the hot aggregation path;
+* ``flapping`` — Markov availability (clients oscillate offline/online);
+* ``poisoning`` — spam/poisoning at population scale through the real
+  :mod:`repro.robustness.attacks` transformations.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+from repro.robustness.attacks import AttackConfig
+from repro.sim.async_server import AsyncFedServer
+from repro.sim.config import ScenarioResult, SimulationConfig
+from repro.sim.engine import SimStreams
+from repro.sim.population import SurrogateFleet
+from repro.sim.scenarios import (  # noqa: E402  (registry population)
+    baseline,
+    dropout_storm,
+    duplicate_uploads,
+    flapping,
+    poisoning,
+    straggler_flood,
+)
+
+
+@dataclass
+class ScenarioSpec:
+    """A named, fully-resolved scenario: config plus optional attack."""
+
+    name: str
+    config: SimulationConfig
+    attack: Optional[AttackConfig] = None
+
+
+#: name -> build(base_config) -> ScenarioSpec
+SCENARIOS: Dict[str, Callable[[SimulationConfig], ScenarioSpec]] = {
+    module.NAME: module.build
+    for module in (
+        baseline,
+        dropout_storm,
+        straggler_flood,
+        duplicate_uploads,
+        flapping,
+        poisoning,
+    )
+}
+
+
+def build_scenario(
+    name: str, base: Optional[SimulationConfig] = None, **overrides
+) -> ScenarioSpec:
+    """Resolve a catalogue name against a base config (plus overrides)."""
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}")
+    spec = SCENARIOS[name](base if base is not None else SimulationConfig())
+    if overrides:
+        spec = ScenarioSpec(spec.name, spec.config.copy_with(**overrides), spec.attack)
+    return spec
+
+
+def run_scenario(
+    scenario: Union[str, SimulationConfig, ScenarioSpec],
+    base: Optional[SimulationConfig] = None,
+    store_dir: Optional[str] = None,
+    **overrides,
+) -> ScenarioResult:
+    """Run one scenario end to end against the surrogate fleet.
+
+    ``scenario`` may be a catalogue name, a bare
+    :class:`SimulationConfig` (run as-is, no attack), or a resolved
+    :class:`ScenarioSpec`.  ``store_dir`` hosts the memmap user store;
+    omitted, a temporary directory is used and cleaned up.
+    """
+    if isinstance(scenario, SimulationConfig):
+        spec = ScenarioSpec("custom", scenario)
+        if overrides:
+            spec = ScenarioSpec(spec.name, spec.config.copy_with(**overrides))
+    elif isinstance(scenario, ScenarioSpec):
+        spec = scenario
+        if overrides:
+            spec = ScenarioSpec(spec.name, spec.config.copy_with(**overrides), spec.attack)
+    else:
+        spec = build_scenario(scenario, base, **overrides)
+
+    if store_dir is None:
+        with tempfile.TemporaryDirectory(prefix="repro_sim_") as tmp:
+            return _run(spec, tmp)
+    return _run(spec, store_dir)
+
+
+def _run(spec: ScenarioSpec, store_dir: str) -> ScenarioResult:
+    streams = SimStreams(spec.config.seed)
+    fleet = SurrogateFleet(
+        spec.config,
+        store_dir,
+        streams.population,
+        attack=spec.attack,
+        attack_rng=streams.attack,
+    )
+    try:
+        server = AsyncFedServer(fleet, spec.config, name=spec.name, streams=streams)
+        result = server.run()
+        result.poisoned_updates = fleet.poisoned_updates
+        return result
+    finally:
+        fleet.close()
+
+
+__all__ = [
+    "SCENARIOS",
+    "ScenarioSpec",
+    "build_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,24 @@
+"""No-fault control: synchronous schedule, instant uploads.
+
+Every other scenario's counters read against this one: zero drops, zero
+retries, zero unavailable clients, every cohort applied at quorum.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SimulationConfig
+
+
+NAME = "baseline"
+
+
+def build(base: SimulationConfig):
+    from repro.sim.scenarios import ScenarioSpec
+
+    config = base.copy_with(
+        arrival=base.arrival.__class__(kind="rounds"),
+        latency=base.latency.__class__(kind="zero"),
+        dropout=base.dropout.__class__(kind="none"),
+        duplicate_rate=0.0,
+    )
+    return ScenarioSpec(NAME, config)

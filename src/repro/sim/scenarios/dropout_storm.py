@@ -1,0 +1,27 @@
+"""Dropout storm: a third of all uploads die mid-flight.
+
+Exercises the retry-with-backoff path hard — with ``rate=0.35`` and two
+retries, roughly 4% of trained updates exhaust their retries and are
+dropped (and accounted).  Bytes that made it onto the wire before the
+drop are charged as ``bytes_wasted``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SimulationConfig
+
+
+NAME = "dropout_storm"
+
+
+def build(base: SimulationConfig):
+    from repro.sim.scenarios import ScenarioSpec
+
+    config = base.copy_with(
+        latency=base.latency.__class__(kind="lognormal", scale=0.1, sigma=0.5),
+        dropout=base.dropout.__class__(
+            kind="bernoulli", rate=0.35, drop_mid_upload_fraction=0.5
+        ),
+        max_retries=2,
+    )
+    return ScenarioSpec(NAME, config)

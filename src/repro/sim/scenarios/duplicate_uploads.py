@@ -1,0 +1,25 @@
+"""Delayed duplicate uploads: retries racing their originals.
+
+A fifth of delivered uploads are delivered *again* shortly after.  The
+aggregation path must merge per-user duplicates (``merge_duplicate_users``)
+rather than double-apply them; the ledger charges both deliveries'
+bytes and counts the merges.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SimulationConfig
+
+
+NAME = "duplicate_uploads"
+
+
+def build(base: SimulationConfig):
+    from repro.sim.scenarios import ScenarioSpec
+
+    config = base.copy_with(
+        latency=base.latency.__class__(kind="fixed", scale=0.1),
+        duplicate_rate=0.2,
+        duplicate_delay=0.25,
+    )
+    return ScenarioSpec(NAME, config)

@@ -1,0 +1,28 @@
+"""Flapping availability: clients oscillate offline/online.
+
+A two-state Markov chain per client (fail with 0.3, recover with 0.5)
+gates dispatch; unavailable clients never start their session and are
+counted in ``clients_unavailable``.  Arrivals follow a diurnal trace, so
+availability pressure is not uniform over the epoch.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SimulationConfig
+
+
+NAME = "flapping"
+
+
+def build(base: SimulationConfig):
+    from repro.sim.scenarios import ScenarioSpec
+
+    config = base.copy_with(
+        arrival=base.arrival.__class__(kind="diurnal", period=24.0, amplitude=0.8),
+        latency=base.latency.__class__(kind="lognormal", scale=0.2, sigma=0.8),
+        dropout=base.dropout.__class__(kind="markov", p_fail=0.3, p_recover=0.5),
+        round_deadline=4.0,
+        deadline_policy="extend",
+        max_extensions=2,
+    )
+    return ScenarioSpec(NAME, config)

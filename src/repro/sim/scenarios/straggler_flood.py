@@ -1,0 +1,30 @@
+"""Straggler flood: heavy-tailed (Pareto) upload latency vs. deadlines.
+
+The classic FedBuff setting: most uploads land quickly, a heavy tail
+lands rounds late.  Windows close on a deadline with the ``apply``
+policy, late arrivals enter the buffer staleness-discounted
+(``0.5 ** staleness``), and anything older than two aggregation rounds
+is evicted and counted in ``dropped_updates``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SimulationConfig
+
+
+NAME = "straggler_flood"
+
+
+def build(base: SimulationConfig):
+    from repro.sim.scenarios import ScenarioSpec
+
+    config = base.copy_with(
+        latency=base.latency.__class__(kind="pareto", scale=0.2, alpha=1.5),
+        round_deadline=1.0,
+        deadline_policy="apply",
+        staleness_weight=0.5,
+        buffer_max_age_rounds=2,
+        upload_timeout=8.0,
+        max_retries=1,
+    )
+    return ScenarioSpec(NAME, config)

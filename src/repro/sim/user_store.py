@@ -1,0 +1,204 @@
+"""Sharded, memmap-backed user-state storage for population-scale sims.
+
+One dense in-RAM ``(num_users, dim)`` table stops working somewhere
+around :math:`10^5` users — and a population simulation touches only
+the few thousand *concurrent* clients anyway.  :class:`MemmapUserStore`
+shards the table into ``shard_size``-row ``.npy`` memmaps created
+lazily on first touch and keeps at most ``max_open_shards`` of them
+mapped (LRU): resident memory is bounded by
+``max_open_shards * shard_size * dim * itemsize`` regardless of
+population size, while reads/writes stay O(touched rows) — the same
+contract :class:`~repro.federated.payload.SparseRowDelta` gives the
+update path.
+
+Shard *content* is deterministic in ``(seed, shard_index)`` alone, so
+two runs that touch shards in different orders still read identical
+rows — the store never leaks event-ordering into the data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+from numpy.lib.format import open_memmap
+
+
+class MemmapUserStore:
+    """Lazy sharded ``(num_users, dim)`` float table backed by ``.npy`` files."""
+
+    def __init__(
+        self,
+        directory: str,
+        num_users: int,
+        dim: int,
+        shard_size: int = 4096,
+        max_open_shards: int = 8,
+        dtype: str = "float32",
+        init_std: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if num_users < 1 or dim < 1:
+            raise ValueError(f"invalid store shape ({num_users}, {dim})")
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if max_open_shards < 1:
+            raise ValueError(f"max_open_shards must be >= 1, got {max_open_shards}")
+        self.directory = directory
+        self.num_users = int(num_users)
+        self.dim = int(dim)
+        self.shard_size = int(shard_size)
+        self.max_open_shards = int(max_open_shards)
+        self.dtype = np.dtype(dtype)
+        self.init_std = float(init_std)
+        self.seed = int(seed)
+        os.makedirs(directory, exist_ok=True)
+        self._open_shards: "OrderedDict[int, np.memmap]" = OrderedDict()
+        self.shards_created = 0
+        self.peak_open_shards = 0
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Shard plumbing
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return (self.num_users + self.shard_size - 1) // self.shard_size
+
+    def _shard_rows(self, index: int) -> int:
+        return min(self.shard_size, self.num_users - index * self.shard_size)
+
+    def _shard_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"users_{index:06d}.npy")
+
+    def _open(self, index: int) -> np.memmap:
+        shard = self._open_shards.get(index)
+        if shard is not None:
+            self._open_shards.move_to_end(index)
+            return shard
+        # Evict before mapping anything new: the cap is strict, never
+        # cap + 1, even transiently.
+        while len(self._open_shards) >= self.max_open_shards:
+            _, evicted = self._open_shards.popitem(last=False)
+            evicted.flush()
+            del evicted  # drop the mapping; the OS reclaims the pages
+        path = self._shard_path(index)
+        if os.path.exists(path):
+            shard = open_memmap(path, mode="r+")
+        else:
+            shard = open_memmap(
+                path, mode="w+", dtype=self.dtype,
+                shape=(self._shard_rows(index), self.dim),
+            )
+            # Content depends on (seed, index) only — never on the order
+            # in which the simulation happened to touch shards.
+            rng = np.random.default_rng(np.random.SeedSequence([self.seed, index]))
+            shard[...] = rng.normal(
+                0.0, self.init_std, size=shard.shape
+            ).astype(self.dtype, copy=False)
+            self.shards_created += 1
+        self._open_shards[index] = shard
+        self.peak_open_shards = max(self.peak_open_shards, len(self._open_shards))
+        return shard
+
+    def _by_shard(self, user_ids: np.ndarray) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Group positions by shard: yields (shard_index, positions, local_rows)."""
+        shard_of = user_ids // self.shard_size
+        for index in np.unique(shard_of):
+            mask = shard_of == index
+            yield int(index), np.flatnonzero(mask), user_ids[mask] - index * self.shard_size
+
+    # ------------------------------------------------------------------
+    # Row access (O(touched rows))
+    # ------------------------------------------------------------------
+    def read(self, user_ids) -> np.ndarray:
+        """The rows of ``user_ids``, as a fresh ``(n, dim)`` array."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        if user_ids.size and (user_ids.min() < 0 or user_ids.max() >= self.num_users):
+            raise IndexError("user id out of range")
+        out = np.empty((user_ids.size, self.dim), dtype=self.dtype)
+        for index, positions, local in self._by_shard(user_ids):
+            out[positions] = self._open(index)[local]
+        self.reads += int(user_ids.size)
+        return out
+
+    def write(self, user_ids, values: np.ndarray) -> None:
+        """Store ``values[i]`` at row ``user_ids[i]``."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        values = np.asarray(values, dtype=self.dtype)
+        if values.shape != (user_ids.size, self.dim):
+            raise ValueError(
+                f"values shape {values.shape} does not match "
+                f"({user_ids.size}, {self.dim})"
+            )
+        for index, positions, local in self._by_shard(user_ids):
+            self._open(index)[local] = values[positions]
+        self.writes += int(user_ids.size)
+
+    # ------------------------------------------------------------------
+    # Accounting / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of user state currently mapped (bounded by the LRU cap)."""
+        return sum(shard.nbytes for shard in self._open_shards.values())
+
+    @property
+    def resident_budget_bytes(self) -> int:
+        """The hard ceiling ``resident_bytes`` can ever reach."""
+        return self.max_open_shards * self.shard_size * self.dim * self.dtype.itemsize
+
+    @property
+    def dense_equivalent_bytes(self) -> int:
+        """What one dense in-RAM table of this population would cost."""
+        return self.num_users * self.dim * self.dtype.itemsize
+
+    def created_shard_indices(self) -> List[int]:
+        indices = []
+        for name in sorted(os.listdir(self.directory)):
+            if name.startswith("users_") and name.endswith(".npy"):
+                indices.append(int(name[len("users_"):-len(".npy")]))
+        return indices
+
+    def digest(self) -> str:
+        """SHA-256 over every materialised shard, in shard order.
+
+        Untouched shards are pure functions of ``(seed, index)`` and
+        never materialise, so hashing the created ones pins the full
+        reachable state.
+        """
+        self.flush()
+        digest = hashlib.sha256(
+            f"{self.num_users}:{self.dim}:{self.seed}".encode()
+        )
+        for index in self.created_shard_indices():
+            digest.update(f"shard:{index}".encode())
+            shard = np.load(self._shard_path(index), mmap_mode="r")
+            digest.update(np.ascontiguousarray(shard).tobytes())
+            del shard
+        return digest.hexdigest()
+
+    def flush(self) -> None:
+        for shard in self._open_shards.values():
+            shard.flush()
+
+    def close(self) -> None:
+        self.flush()
+        self._open_shards.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "num_users": self.num_users,
+            "num_shards": self.num_shards,
+            "shards_created": self.shards_created,
+            "peak_open_shards": self.peak_open_shards,
+            "resident_bytes": self.resident_bytes,
+            "resident_budget_bytes": self.resident_budget_bytes,
+            "dense_equivalent_bytes": self.dense_equivalent_bytes,
+            "rows_read": self.reads,
+            "rows_written": self.writes,
+        }

@@ -181,6 +181,68 @@ class TestStragglerBuffer:
         buffer.discard_user(1)
         assert [u.user_id for u in buffer.drain()] == [2]
 
+    def test_unit_weight_stores_object_untouched(self):
+        # The async server's zero-staleness path relies on this for its
+        # bitwise sync-mirror contract: no .scaled(1.0) float churn.
+        buffer = StragglerBuffer(staleness_weight=0.5)
+        update = make_update(1, 2.0)
+        buffer.add([update], weight=1.0)
+        assert buffer.drain()[0] is update
+
+    def test_per_add_weight_overrides_default(self):
+        buffer = StragglerBuffer(staleness_weight=0.5)
+        buffer.add([make_update(1, 8.0)], weight=0.25)
+        assert np.allclose(buffer.drain()[0].embedding_delta, 2.0)
+
+    def test_tick_ages_without_max_age(self):
+        buffer = StragglerBuffer()
+        buffer.add([make_update(1, 1.0)])
+        for _ in range(5):
+            assert buffer.tick() == []
+        assert buffer.export_ages() == [5]
+        assert buffer.dropped_updates == 0
+        assert len(buffer) == 1
+
+    def test_tick_evicts_beyond_max_age(self):
+        buffer = StragglerBuffer(max_age_rounds=1)
+        old, fresh = make_update(1, 1.0), make_update(2, 1.0)
+        buffer.add([old], weight=1.0)
+        assert buffer.tick() == []          # age 1 == max: still held
+        buffer.add([fresh], weight=1.0)
+        evicted = buffer.tick()             # old hits age 2 > max
+        assert [u.user_id for u in evicted] == [1]
+        assert buffer.dropped_updates == 1
+        assert [u.user_id for u in buffer.drain()] == [2]
+
+    def test_max_age_zero_discards_stragglers_outright(self):
+        buffer = StragglerBuffer(max_age_rounds=0)
+        buffer.add([make_update(1, 1.0), make_update(2, 1.0)])
+        assert len(buffer.tick()) == 2
+        assert buffer.dropped_updates == 2
+        assert buffer.drain() == []
+
+    def test_restore_pending_preserves_eviction_clocks(self):
+        buffer = StragglerBuffer(max_age_rounds=2)
+        buffer.add([make_update(1, 1.0), make_update(2, 1.0)], weight=1.0)
+        buffer.tick()
+        buffer.tick()
+        restored = StragglerBuffer(max_age_rounds=2)
+        restored.restore_pending(buffer.export_pending(), buffer.export_ages())
+        # One more round expires both, exactly as without the round-trip.
+        assert len(restored.tick()) == 2
+
+    def test_restore_pending_defaults_ages_to_zero(self):
+        # Older checkpoints carry no ages; their entries restart young.
+        buffer = StragglerBuffer(max_age_rounds=1)
+        buffer.restore_pending([make_update(1, 1.0)])
+        assert buffer.export_ages() == [0]
+        assert buffer.tick() == []
+
+    def test_restore_pending_rejects_misaligned_ages(self):
+        buffer = StragglerBuffer()
+        with pytest.raises(ValueError):
+            buffer.restore_pending([make_update(1, 1.0)], ages=[0, 1])
+
 
 class TestTrainerIntegration:
     def test_training_survives_availability(self, tiny_dataset, tiny_clients):
@@ -232,3 +294,24 @@ class TestTrainerIntegration:
         trainer = HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
         history = trainer.fit()
         assert np.isfinite(history.records[-1].train_loss)
+
+    def test_max_age_eviction_counts_dropped_updates(
+        self, tiny_dataset, tiny_clients
+    ):
+        """``buffer_max_age_rounds=0`` discards every straggler before it
+        can apply — accountably, via ``meter.dropped_updates``."""
+        config = HeteFedRecConfig(
+            epochs=2, clients_per_round=16, local_epochs=1, seed=0,
+            availability=AvailabilityConfig(
+                offline_rate=0.0, straggler_rate=0.4,
+                buffer_max_age_rounds=0, seed=3,
+            ),
+        )
+        trainer = HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
+        trainer.fit()
+        assert trainer.meter.dropped_updates > 0
+        # Only the final round's fresh stragglers may linger (no later
+        # round ever ticked them out); nothing older survives max_age 0.
+        assert all(age == 0 for age in trainer._straggler_buffer.export_ages())
+        state = trainer.meter.export_state()
+        assert state["dropped_updates"] == trainer.meter.dropped_updates

@@ -75,10 +75,17 @@ class TestWorkerResume:
         with open(checkpoint_path(), "wb") as handle:
             handle.write(b"not a checkpoint")
 
-        result = run_spec(SPEC)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            result = run_spec(SPEC)
         assert epoch_recorder["trained"] == [1, 2]  # full restart
         assert asdict(result) == asdict(truth)
         assert not os.path.exists(checkpoint_path())
+        # The unreadable checkpoint is preserved for post-mortems, byte
+        # for byte, under the quarantine name — never silently deleted.
+        quarantine = checkpoint_path()[: -len(".npz")] + ".corrupt"
+        assert os.path.exists(quarantine)
+        with open(quarantine, "rb") as handle:
+            assert handle.read() == b"not a checkpoint"
 
     def test_checkpoint_outlives_a_failed_publish(
         self, epoch_recorder, monkeypatch
