@@ -1,0 +1,224 @@
+"""Benchmark: throughput and wire overhead of the phased masking protocol.
+
+Drives :func:`repro.federated.secure_protocol.run_secure_round` — the
+full advertise → shares → masked_input → unmask state machine — over
+dense uploads on a small catalogue (500 items × dim 8, bounding the
+O(n² · size) pairwise-masking cost) at paper-scale cohorts:
+
+* ``clients_per_second``  — cohort size over the wall-clock of one
+  clean (zero-fault) round: key agreement, Shamir sharing, double
+  masking, consistency check and unmasking end to end;
+* ``recovery_seconds``    — the same round with 10 % of the cohort
+  dropped at the masked-input phase, exercising the expensive path
+  (pairwise-secret reconstruction for every dropout);
+* ``protocol_overhead``   — per-phase key/share/MAC wire beyond the
+  masked vectors, and ``overhead_ratio`` vs a plain dense upload of the
+  same vectors (the honest Table III cost of the protocol);
+* ``exact``               — hard gate: the decoded masked sum must be
+  **bitwise identical** to the survivors' plain fixed-point sum at
+  every scale.
+
+Results go to ``BENCH_secure_agg.json``:
+
+    PYTHONPATH=src python benchmarks/bench_secure_agg.py
+
+``--quick`` shrinks the cohorts for CI; ``--check BASELINE`` compares
+throughput against a committed baseline and exits non-zero when it
+falls below ``--check-tolerance`` × the baseline value or the wire
+accounting drifts — exactness is always enforced:
+
+    PYTHONPATH=src python benchmarks/bench_secure_agg.py \
+        --quick --check BENCH_secure_agg.json --out bench_secure_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.federated.payload import ClientUpdate
+from repro.federated.secure_agg import FixedPointCodec, SecureAggregationConfig
+from repro.federated.secure_protocol import (
+    MASKED_INPUT,
+    FaultPlan,
+    run_secure_round,
+)
+
+FULL_COHORTS = (64, 128, 256)
+QUICK_COHORTS = (16, 32)
+NUM_ITEMS = 500
+DIM = 8
+DROP_FRACTION = 10  # every 10th client drops in the recovery round
+
+
+def make_updates(num_clients: int, seed: int = 0) -> List[ClientUpdate]:
+    rng = np.random.default_rng(seed)
+    return [
+        ClientUpdate(
+            user_id=uid,
+            group="s",
+            embedding_delta=rng.normal(scale=0.1, size=(NUM_ITEMS, DIM)),
+            head_deltas={},
+        )
+        for uid in range(num_clients)
+    ]
+
+
+def plain_fixed_point_sum(
+    updates: List[ClientUpdate], config: SecureAggregationConfig
+) -> np.ndarray:
+    """The reference the decoded masked sum must match bitwise."""
+    codec = FixedPointCodec(config.precision_bits, config.clip_range)
+    total = np.zeros((NUM_ITEMS, DIM), dtype=np.uint64)
+    for update in updates:
+        total += codec.encode(np.asarray(update.embedding_delta))
+    return codec.decode(total)
+
+
+def bench_cohort(num_clients: int, config: SecureAggregationConfig) -> Dict:
+    updates = make_updates(num_clients)
+    vector_size = NUM_ITEMS * DIM
+
+    start = time.perf_counter()
+    embeddings, _, report = run_secure_round(updates, {"s": DIM}, config, 1)
+    clean_seconds = time.perf_counter() - start
+    exact = bool(
+        np.array_equal(embeddings["s"], plain_fixed_point_sum(updates, config))
+    )
+
+    drops = frozenset(range(0, num_clients, DROP_FRACTION))
+    faults = FaultPlan(drops={MASKED_INPUT: drops})
+    start = time.perf_counter()
+    emb_faulted, _, faulted = run_secure_round(updates, {"s": DIM}, config, 2, faults)
+    recovery_seconds = time.perf_counter() - start
+    survivors = [u for u in updates if int(u.user_id) in set(faulted.survivors)]
+    exact = exact and bool(
+        np.array_equal(emb_faulted["s"], plain_fixed_point_sum(survivors, config))
+    )
+
+    # Honest wire: every survivor ships a dense masked vector, plus the
+    # protocol's key/share/MAC traffic; plain is the same dense upload
+    # without the protocol.
+    plain_wire = float(num_clients * vector_size)
+    secure_wire = plain_wire + report.protocol_overhead
+    return {
+        "num_clients": num_clients,
+        "vector_size": vector_size,
+        "clean_seconds": clean_seconds,
+        "clients_per_second": num_clients / clean_seconds,
+        "recovery_seconds": recovery_seconds,
+        "recovery_dropouts": len(drops),
+        "recovery_survivors": len(faulted.survivors),
+        "phase_wire": {k: float(v) for k, v in report.phase_wire.items()},
+        "protocol_overhead": report.protocol_overhead,
+        "overhead_ratio": secure_wire / plain_wire,
+        "exact": exact,
+    }
+
+
+def run_benchmark(quick: bool = False) -> Dict:
+    cohorts = QUICK_COHORTS if quick else FULL_COHORTS
+    config = SecureAggregationConfig()
+    return {
+        "benchmark": "secure_agg",
+        "config": {
+            "cohorts": list(cohorts),
+            "num_items": NUM_ITEMS,
+            "dim": DIM,
+            "precision_bits": config.precision_bits,
+            "threshold_fraction": config.threshold_fraction,
+            "quick": quick,
+        },
+        "cohorts": [bench_cohort(n, config) for n in cohorts],
+    }
+
+
+def check_regression(report: Dict, baseline_path: str, tolerance: float) -> bool:
+    """Gate a fresh report against a committed baseline.
+
+    Exactness is a hard requirement at every scale.  At scales the
+    baseline also ran, throughput must reach ``tolerance`` × the
+    baseline value, and the (deterministic) wire accounting must match
+    the baseline exactly — any drift is an accounting change that needs
+    a deliberate baseline regeneration.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    by_scale = {c["num_clients"]: c for c in baseline["cohorts"]}
+    ok = True
+    for cohort in report["cohorts"]:
+        n = cohort["num_clients"]
+        if not cohort["exact"]:
+            print(f"[check] n={n} exact: FAILED — masked sum != plain sum")
+            ok = False
+            continue
+        print(f"[check] n={n} exact: ok")
+        base = by_scale.get(n)
+        if base is None:
+            print(f"[check] n={n}: not in baseline — throughput floor skipped")
+            continue
+        floor = tolerance * base["clients_per_second"]
+        measured = cohort["clients_per_second"]
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        if measured < floor:
+            ok = False
+        print(
+            f"[check] n={n} clients_per_second: measured {measured:,.1f} vs "
+            f"baseline {base['clients_per_second']:,.1f} "
+            f"(floor {floor:,.1f}) — {verdict}"
+        )
+        if abs(cohort["overhead_ratio"] - base["overhead_ratio"]) > 1e-9:
+            print(
+                f"[check] n={n} overhead_ratio: measured "
+                f"{cohort['overhead_ratio']:.6f} vs baseline "
+                f"{base['overhead_ratio']:.6f} — WIRE ACCOUNTING DRIFTED"
+            )
+            ok = False
+        else:
+            print(f"[check] n={n} overhead_ratio: ok")
+    return ok
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_secure_agg.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI-sized cohorts {QUICK_COHORTS} instead of {FULL_COHORTS}",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE_JSON",
+        help="compare throughput/wire/exactness against this committed "
+        "baseline and exit non-zero on a regression",
+    )
+    parser.add_argument(
+        "--check-tolerance", type=float, default=0.4,
+        help="fraction of the baseline throughput the measured value must "
+        "reach (default: 0.4)",
+    )
+    args = parser.parse_args()
+
+    report = run_benchmark(quick=args.quick)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for cohort in report["cohorts"]:
+        print(
+            f"n={cohort['num_clients']:>4}: clean "
+            f"{cohort['clean_seconds']:.2f}s "
+            f"({cohort['clients_per_second']:,.1f} clients/sec), recovery "
+            f"{cohort['recovery_seconds']:.2f}s "
+            f"({cohort['recovery_dropouts']} dropouts), overhead ratio "
+            f"{cohort['overhead_ratio']:.3f}, exact: {cohort['exact']}"
+        )
+    print(f"wrote {args.out}")
+    if args.check and not check_regression(report, args.check, args.check_tolerance):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -72,6 +72,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
     clients = train_test_split_per_user(dataset, seed=args.seed)
     checkpoint_path = args.checkpoint or args.resume
+    privacy = None
+    if args.clip_norm > 0:
+        from repro.federated.privacy import PrivacyConfig
+
+        privacy = PrivacyConfig(clip_norm=args.clip_norm, noise_std=args.noise_std)
+    secure = None
+    if args.secure_agg:
+        from repro.federated.secure_agg import SecureAggregationConfig
+
+        secure = SecureAggregationConfig()
     config = HeteFedRecConfig(
         arch=args.arch,
         epochs=args.epochs,
@@ -79,6 +89,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         checkpoint_path=checkpoint_path,
         checkpoint_every=args.checkpoint_every if checkpoint_path else 0,
+        privacy=privacy,
+        secure_aggregation=secure,
     )
     trainer = build_method(args.method, dataset.num_items, clients, config)
     evaluator = Evaluator(clients, k=args.k)
@@ -93,6 +105,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(result)
     comm = trainer.meter.per_client_round()
     print(f"communication: {comm:,.0f} scalars per client-round")
+    privacy_spent = getattr(trainer, "privacy_spent", lambda: None)
+    spent = privacy_spent()
+    if spent is not None:
+        print(f"privacy: ({spent.epsilon:.4f}, {spent.delta:.2e})-DP "
+              f"over {spent.rounds} rounds ({spent.mechanism} composition)")
     return 0
 
 
@@ -186,6 +203,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--clients-per-round", type=int, default=256)
     run_parser.add_argument("--k", type=int, default=20)
     run_parser.add_argument(
+        "--clip-norm", type=float, default=0.0, metavar="C",
+        help="L2-clip each upload to C (0 disables; enables the privacy "
+        "path together with --noise-std)",
+    )
+    run_parser.add_argument(
+        "--noise-std", type=float, default=0.0, metavar="SIGMA",
+        help="Gaussian noise multiplier relative to the clip norm; with "
+        "--clip-norm > 0 the run reports its accumulated (ε, δ)",
+    )
+    run_parser.add_argument(
+        "--secure-agg", action="store_true",
+        help="aggregate through the phased masking protocol "
+        "(advertise → shares → masked input → unmask)",
+    )
+    run_parser.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="autosave full training state to PATH every --checkpoint-every "
         "epochs (atomic writes; resumable with --resume PATH)",
@@ -236,7 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "scenario",
         help="catalogue name: baseline, dropout_storm, straggler_flood, "
-        "duplicate_uploads, flapping, poisoning",
+        "duplicate_uploads, flapping, poisoning, secure_dropout",
     )
     sim_parser.add_argument("--clients", type=int, default=1000)
     sim_parser.add_argument("--items", type=int, default=500)

@@ -48,6 +48,7 @@ ARTEFACTS: Dict[str, Tuple[Callable, Callable]] = {
     "ablation_arch": (ablations.run_arch_comparison, ablations.format_arch_comparison),
     "ablation_robustness": (ablations.run_robustness, ablations.format_robustness),
     "ablation_systems": (ablations.run_systems, ablations.format_systems),
+    "ablation_privacy": (ablations.run_privacy, ablations.format_privacy),
 }
 
 
@@ -76,6 +77,7 @@ def collect_suite_specs(
     specs += list(ablations.compression_specs(profile).values())
     specs += list(ablations.kd_subset_specs(profile).values())
     specs += ablations.arch_comparison_specs(profile, archs=archs)
+    specs += list(ablations.privacy_specs(profile).values())
     return specs
 
 

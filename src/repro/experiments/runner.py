@@ -91,6 +91,10 @@ class RunResult:
     communication_per_round: float
     collapse: Dict[str, float]
     seed: int = 0
+    #: End-to-end differential-privacy spend (None when the run trains
+    #: without clipping+noise — the accountant is inactive).
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
@@ -345,6 +349,12 @@ def _train_spec(spec: RunSpec, checkpoint: bool = False) -> RunResult:
     division = divide_clients(clients, getattr(config, "ratios", (5, 3, 2)))
     groups = per_group_metrics(final, division)
 
+    epsilon = delta = None
+    privacy_spent = getattr(trainer, "privacy_spent", lambda: None)
+    spent = privacy_spent()
+    if spent is not None:
+        epsilon, delta = float(spent.epsilon), float(spent.delta)
+
     collapse = {}
     if hasattr(trainer, "collapse_diagnostics"):
         collapse = trainer.collapse_diagnostics()
@@ -370,6 +380,8 @@ def _train_spec(spec: RunSpec, checkpoint: bool = False) -> RunResult:
         communication_per_round=trainer.meter.per_client_round(),
         collapse={g: float(v) for g, v in collapse.items()},
         seed=spec.seed,
+        epsilon=epsilon,
+        delta=delta,
     )
 
 

@@ -48,6 +48,18 @@ from repro.federated.secure_agg import (
     SecureAggregationSession,
     secure_aggregate_updates,
 )
+from repro.federated.secure_protocol import (
+    FaultPlan,
+    SecureAggregationClient,
+    SecureAggregationServer,
+    SecureRoundAbort,
+    SecureRoundReport,
+    run_secure_round,
+)
+from repro.federated.accounting import (
+    PrivacyAccountant,
+    PrivacySpent,
+)
 from repro.federated.server_optim import ServerOptimizer, ServerOptimizerConfig
 from repro.federated.trainer import FederatedConfig, FederatedTrainer
 from repro.federated.round_engine import (
@@ -91,6 +103,14 @@ __all__ = [
     "SecureAggregationConfig",
     "SecureAggregationSession",
     "secure_aggregate_updates",
+    "FaultPlan",
+    "SecureAggregationClient",
+    "SecureAggregationServer",
+    "SecureRoundAbort",
+    "SecureRoundReport",
+    "run_secure_round",
+    "PrivacyAccountant",
+    "PrivacySpent",
     "ServerOptimizer",
     "ServerOptimizerConfig",
     "FederatedConfig",

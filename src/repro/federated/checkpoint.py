@@ -54,7 +54,8 @@ from repro.models.factory import build_model
 #: Manifest schema version; bump on layout changes.  Loading any other
 #: version raises :class:`CheckpointMismatchError` — resume correctness
 #: depends on every state section being present and understood.
-FORMAT_VERSION = 2
+#: Version 3 added the privacy accountant's state (``accounting``).
+FORMAT_VERSION = 3
 
 
 class CheckpointMismatchError(ValueError):
@@ -338,6 +339,8 @@ def _collect(trainer) -> Tuple[Dict[str, np.ndarray], dict]:
         "meter": trainer.meter.export_state(),
         "history": trainer.history.export_records(),
     }
+    if trainer._accountant is not None:
+        meta["accounting"] = trainer._accountant.export_state()
     if trainer._server_opt is not None:
         momentum, second = trainer._server_opt.export_moments()
         for key, values in momentum.items():
@@ -499,6 +502,8 @@ def load_checkpoint(trainer, path: str) -> None:
         # Accounting and history.
         trainer.meter.load_state(meta["meter"])
         trainer.history.restore_records(meta["history"])
+        if trainer._accountant is not None and "accounting" in meta:
+            trainer._accountant.load_state(meta["accounting"])
 
         # Optional protocol components (presence already validated via
         # the feature signature).

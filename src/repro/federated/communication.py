@@ -88,11 +88,28 @@ class CommunicationMeter:
     #: policy and were evicted unapplied — they crossed the wire (their
     #: cost stays in ``uploads``) but never reached aggregation.
     dropped_updates: int = 0
+    #: Secure-aggregation protocol traffic (key advertisements, Shamir
+    #: shares, MACs, unmask reveals) per phase, in scalar-equivalents —
+    #: the overhead Table III must carry when ``secure_aggregation`` is
+    #: on, separate from the masked vectors themselves (which replace
+    #: the sparse ``upload_size`` inside ``uploads``).
+    protocol: Dict[str, float] = field(default_factory=dict)
+    #: Scalars the fixed-point codec clamped at ``clip_range`` across
+    #: all secure rounds (each one silently shrinks the decoded sum).
+    saturated_scalars: int = 0
 
     def record(self, group: str, download: int, upload: int) -> None:
         self.downloads[group] = self.downloads.get(group, 0) + int(download)
         self.uploads[group] = self.uploads.get(group, 0) + int(upload)
         self.client_rounds += 1
+
+    def record_protocol(self, phase: str, cost: float) -> None:
+        """Secure-protocol control traffic for one phase of one round."""
+        self.protocol[phase] = self.protocol.get(phase, 0.0) + float(cost)
+
+    @property
+    def total_protocol(self) -> float:
+        return float(sum(self.protocol.values()))
 
     @property
     def total_download(self) -> int:
@@ -103,8 +120,11 @@ class CommunicationMeter:
         return sum(self.uploads.values())
 
     @property
-    def total(self) -> int:
-        return self.total_download + self.total_upload
+    def total(self) -> float:
+        total = self.total_download + self.total_upload
+        if self.protocol:
+            return float(total) + self.total_protocol
+        return total
 
     def per_client_round(self) -> float:
         """Average scalars moved per client participation."""
@@ -119,6 +139,8 @@ class CommunicationMeter:
             "uploads": dict(self.uploads),
             "client_rounds": int(self.client_rounds),
             "dropped_updates": int(self.dropped_updates),
+            "protocol": dict(self.protocol),
+            "saturated_scalars": int(self.saturated_scalars),
         }
 
     def load_state(self, state: Mapping[str, object]) -> None:
@@ -127,8 +149,13 @@ class CommunicationMeter:
         self.uploads = {g: int(v) for g, v in dict(state["uploads"]).items()}
         self.client_rounds = int(state["client_rounds"])
         # Checkpoints written before the eviction policy existed carry no
-        # drop counter; those runs never dropped anything.
+        # drop counter; those runs never dropped anything.  Same story
+        # for the secure-protocol ledger and the saturation counter.
         self.dropped_updates = int(state.get("dropped_updates", 0))
+        self.protocol = {
+            str(p): float(v) for p, v in dict(state.get("protocol", {})).items()
+        }
+        self.saturated_scalars = int(state.get("saturated_scalars", 0))
 
     def summary(self) -> Dict[str, Tuple[int, int]]:
         """``{group: (download, upload)}`` totals."""

@@ -17,6 +17,11 @@ class EpochRecord:
     train_loss: float
     recall: Optional[float] = None
     ndcg: Optional[float] = None
+    #: Cumulative differential-privacy budget spent by the end of this
+    #: epoch (``None`` when the clipped-noise mechanism is off); see
+    #: :mod:`repro.federated.accounting`.
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
 
 
 @dataclass
@@ -26,8 +31,16 @@ class TrainingHistory:
     records: List[EpochRecord] = field(default_factory=list)
 
     def log(self, epoch: int, train_loss: float,
-            recall: Optional[float] = None, ndcg: Optional[float] = None) -> None:
-        self.records.append(EpochRecord(epoch, train_loss, recall, ndcg))
+            recall: Optional[float] = None, ndcg: Optional[float] = None,
+            epsilon: Optional[float] = None,
+            delta: Optional[float] = None) -> None:
+        self.records.append(
+            EpochRecord(epoch, train_loss, recall, ndcg, epsilon, delta)
+        )
+
+    def privacy_curve(self) -> List[tuple]:
+        """``[(epoch, epsilon), ...]`` — the accountant's loss curve."""
+        return [(r.epoch, r.epsilon) for r in self.records if r.epsilon is not None]
 
     def evaluated(self) -> List[EpochRecord]:
         """Records that include an evaluation."""
@@ -63,18 +76,26 @@ class TrainingHistory:
                 "train_loss": r.train_loss,
                 "recall": r.recall,
                 "ndcg": r.ndcg,
+                "epsilon": r.epsilon,
+                "delta": r.delta,
             }
             for r in self.records
         ]
 
     def restore_records(self, payload: List[dict]) -> None:
         """Replace the log with checkpointed records."""
+        # Older checkpoints predate the privacy accountant; ``.get``
+        # keeps them loadable (those runs tracked no budget).
         self.records = [
             EpochRecord(
                 epoch=int(r["epoch"]),
                 train_loss=float(r["train_loss"]),
                 recall=None if r["recall"] is None else float(r["recall"]),
                 ndcg=None if r["ndcg"] is None else float(r["ndcg"]),
+                epsilon=(
+                    None if r.get("epsilon") is None else float(r["epsilon"])
+                ),
+                delta=None if r.get("delta") is None else float(r["delta"]),
             )
             for r in payload
         ]

@@ -52,15 +52,25 @@ class PrivacyConfig:
         deltas (0 disables).  Fabricated rows are Gaussian with the same
         per-row norm distribution as the client's real rows, so they are
         statistically indistinguishable to the server.
+    ``target_delta``:
+        δ budget the privacy accountant composes against when both
+        ``clip_norm`` and ``noise_std`` are active — see
+        :mod:`repro.federated.accounting`.  Has no effect on the
+        mechanism itself.
     """
 
     clip_norm: float = 0.0
     noise_std: float = 0.0
     pseudo_items: int = 0
+    target_delta: float = 1e-5
 
     def __post_init__(self) -> None:
         if self.clip_norm < 0 or self.noise_std < 0 or self.pseudo_items < 0:
             raise ValueError("privacy parameters must be non-negative")
+        if not 0 < self.target_delta < 1:
+            raise ValueError(
+                f"target_delta must be in (0, 1), got {self.target_delta}"
+            )
 
     @property
     def enabled(self) -> bool:

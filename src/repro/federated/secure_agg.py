@@ -31,6 +31,7 @@ the trainer then routes every round through
 from __future__ import annotations
 
 import hashlib
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -57,17 +58,28 @@ class SecureAggregationConfig:
     ``seed``:
         Root secret from which all pairwise seeds derive (stands in for
         the key-agreement phase).
+    ``threshold_fraction``:
+        Minimum fraction of the invited participants that must survive
+        every phase of the full protocol
+        (:mod:`repro.federated.secure_protocol`); rounds falling below
+        ``max(1, ceil(threshold_fraction · n))`` survivors abort into
+        the availability path instead of unmasking.
     """
 
     precision_bits: int = 24
     clip_range: float = 64.0
     seed: int = 0
+    threshold_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if not 1 <= self.precision_bits <= 40:
             raise ValueError(f"precision_bits must be in [1, 40], got {self.precision_bits}")
         if self.clip_range <= 0:
             raise ValueError(f"clip_range must be positive, got {self.clip_range}")
+        if not 0 < self.threshold_fraction <= 1:
+            raise ValueError(
+                f"threshold_fraction must be in (0, 1], got {self.threshold_fraction}"
+            )
 
 
 class FixedPointCodec:
@@ -77,15 +89,33 @@ class FixedPointCodec:
     ``decode`` inverts it, interpreting values above 2^63 as negative.
     Addition in the field corresponds to addition of the encoded reals as
     long as the true sum stays within ``±2^63 / 2^f``.
+
+    Scalars outside ``±clip_range`` saturate at the clamp — the decoded
+    sum is then silently smaller than the true sum.  ``encode`` counts
+    them (``saturated_total`` accumulates across calls) and warns once,
+    so a mis-sized ``clip_range`` shows up in the meter and the console
+    instead of corrupting Table II numbers invisibly.
     """
 
     def __init__(self, precision_bits: int = 24, clip_range: float = 64.0) -> None:
         self.precision_bits = precision_bits
         self.clip_range = clip_range
         self.scale = float(2**precision_bits)
+        self.saturated_total = 0
 
     def encode(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
         clipped = np.clip(values, -self.clip_range, self.clip_range)
+        saturated = int(np.count_nonzero(values != clipped))
+        if saturated:
+            self.saturated_total += saturated
+            warnings.warn(
+                f"fixed-point encoding saturated {saturated} scalar(s) at "
+                f"clip_range={self.clip_range}; the decoded sum under-counts "
+                "these coordinates (raise clip_range or shrink updates)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         fixed = np.rint(clipped * self.scale).astype(np.int64)
         return fixed.view(_FIELD_DTYPE)
 

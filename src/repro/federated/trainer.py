@@ -24,6 +24,7 @@ same global snapshot and updates are aggregated at the end of the round.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -54,8 +55,10 @@ from repro.federated.payload import (
     state_delta,
     state_size,
 )
+from repro.federated.accounting import PrivacyAccountant, PrivacySpent
 from repro.federated.privacy import PrivacyConfig, protect_update
-from repro.federated.secure_agg import SecureAggregationConfig, secure_aggregate_updates
+from repro.federated.secure_agg import SecureAggregationConfig
+from repro.federated.secure_protocol import SecureRoundReport, run_secure_round
 from repro.federated.server_optim import ServerOptimizer, ServerOptimizerConfig
 from repro.compression.client import ClientCompressor
 from repro.compression.codecs import CompressionConfig
@@ -89,8 +92,10 @@ class FederatedConfig:
     #: Optional upload protection (clipping / LDP noise / pseudo-items);
     #: see :mod:`repro.federated.privacy`.  ``None`` = no protection.
     privacy: Optional["PrivacyConfig"] = None
-    #: Optional secure aggregation (pairwise-masked sums); the server then
-    #: only ever sees per-round sums.  See :mod:`repro.federated.secure_agg`.
+    #: Optional secure aggregation: every round runs the full phased
+    #: masking protocol (:mod:`repro.federated.secure_protocol` — key
+    #: advertisement, Shamir shares, double-masked input, unmasking with
+    #: dropout recovery), so the server only ever sees per-round sums.
     secure_aggregation: Optional["SecureAggregationConfig"] = None
     #: Optional update compression applied to every upload; see
     #: :mod:`repro.compression`.  ``None`` = dense uploads.
@@ -173,6 +178,21 @@ class FederatedTrainer:
         #: event-driven simulator uses this seam to drive cohorts from
         #: arrival traces; ``None`` keeps the paper's schedule.
         self.participation_source = None
+        #: Fault-injection seam for the secure-aggregation protocol: a
+        #: callable ``(round_id, participant_ids) -> Optional[FaultPlan]``
+        #: deciding which clients drop/duplicate at which phase.  ``None``
+        #: (the default) runs every secure round clean; the simulator's
+        #: ``secure_dropout`` scenario and the protocol tests plug in here.
+        self._secure_fault_plan = None
+        #: Differential-privacy accountant — only meaningful when the
+        #: clipped-noise mechanism is actually active (clip + noise).
+        self._accountant = (
+            PrivacyAccountant(config.privacy.noise_std, config.privacy.target_delta)
+            if config.privacy is not None
+            and config.privacy.clip_norm > 0
+            and config.privacy.noise_std > 0
+            else None
+        )
         if (
             config.secure_aggregation is not None
             and type(self).aggregate_embeddings is not FederatedTrainer.aggregate_embeddings
@@ -445,12 +465,20 @@ class FederatedTrainer:
         self._round_counter += 1
 
         if self.config.secure_aggregation is not None:
-            embedding_deltas, head_deltas = self._secure_aggregate(accepted)
+            secure = self._secure_aggregate(accepted)
+            if secure is None:
+                # Below-threshold abort: the round released nothing; the
+                # updates were rerouted into the availability path.
+                return
+            embedding_deltas, head_deltas = secure
         else:
             embedding_deltas = self.aggregate_embeddings(accepted)
             head_deltas = aggregate_head_updates(
                 accepted, mode=self.config.aggregation.theta_mode
             )
+        if self._accountant is not None:
+            # One successful aggregation = one released noisy query.
+            self._accountant.record_round()
 
         for group, delta in embedding_deltas.items():
             self.models[group].item_embedding.weight.data += self._server_step(
@@ -476,34 +504,55 @@ class FederatedTrainer:
 
     def _secure_aggregate(
         self, accepted: Sequence[ClientUpdate]
-    ) -> Tuple[Dict[str, np.ndarray], Dict[str, Dict[str, np.ndarray]]]:
-        """One secure-aggregation round (padded sums under pairwise masks).
+    ) -> Optional[Tuple[Dict[str, np.ndarray], Dict[str, Dict[str, np.ndarray]]]]:
+        """One full secure-protocol round (see ``secure_protocol``).
+
+        Drives every phase — key advertisement, Shamir shares, masked
+        input, unmasking — under the optional fault plan, meters the true
+        per-phase wire costs, and returns the decoded sums over the
+        round's *survivors*.  A below-threshold abort reroutes the
+        updates into the straggler buffer and returns ``None``.
 
         Mean modes are reproduced from public metadata: the server knows
-        which group every uploader belongs to, hence the per-column and
-        per-head contributor counts, without seeing any plaintext values.
+        which group every surviving uploader belongs to, hence the
+        per-column and per-head contributor counts, without seeing any
+        plaintext values.
         """
         cfg = self.config
         dims = {g: cfg.dims[g] for g in self.groups}
 
-        head_counts: Optional[Dict[str, int]] = None
-        if cfg.aggregation.theta_mode == "mean":
-            head_counts = {}
-            for update in accepted:
-                for head_group in update.head_deltas:
-                    head_counts[head_group] = head_counts.get(head_group, 0) + 1
-
-        embeddings, heads = secure_aggregate_updates(
+        faults = None
+        if self._secure_fault_plan is not None:
+            faults = self._secure_fault_plan(
+                self._round_counter, [int(u.user_id) for u in accepted]
+            )
+        embeddings, heads, report = run_secure_round(
             accepted,
             dims,
             cfg.secure_aggregation,
             round_id=self._round_counter,
-            head_counts=head_counts,
+            faults=faults,
         )
+        self._meter_secure_round(accepted, report)
+        if report.aborted:
+            self._secure_abort_fallback(accepted, report)
+            return None
+
+        survivor_ids = set(report.survivors)
+        surviving = [u for u in accepted if int(u.user_id) in survivor_ids]
+        if cfg.aggregation.theta_mode == "mean":
+            head_counts: Dict[str, int] = {}
+            for update in surviving:
+                for head_group in update.head_deltas:
+                    head_counts[head_group] = head_counts.get(head_group, 0) + 1
+            for head_group, state in heads.items():
+                divisor = float(max(head_counts.get(head_group, 1), 1))
+                for name in state:
+                    state[name] = state[name] / divisor
         if cfg.aggregation.embedding_mode == "mean":
             widest = max(dims.values())
             contributors = np.zeros(widest)
-            for update in accepted:
+            for update in surviving:
                 contributors[: cfg.dims[update.group]] += 1.0
             safe = np.maximum(contributors, 1.0)
             embeddings = {
@@ -511,6 +560,67 @@ class FederatedTrainer:
                 for group, emb in embeddings.items()
             }
         return embeddings, heads
+
+    def _meter_secure_round(
+        self, accepted: Sequence[ClientUpdate], report: SecureRoundReport
+    ) -> None:
+        """True wire accounting for one secure round (Table III honesty).
+
+        Each survivor's upload is a *dense* masked vector over the full
+        round layout — the sparse ``upload_size`` recorded at training
+        time is a fiction under secure aggregation, so it is replaced by
+        the masked size.  Clients that dropped before delivering masked
+        input never uploaded at all; their sparse record is removed.
+        Key/share/MAC/unmask traffic lands in the meter's per-phase
+        protocol ledger.  Aborted rounds correct nothing: the buffered
+        updates keep their sparse ``upload_size`` and the correction
+        happens in the retry round that finally delivers them (the
+        wasted masked vectors are already in the protocol ledger).
+        """
+        for phase, cost in report.phase_wire.items():
+            if cost:
+                self.meter.record_protocol(phase, cost)
+        self.meter.saturated_scalars += int(report.saturated_scalars)
+        if report.aborted:
+            return
+        survivor_ids = set(report.survivors)
+        for update in accepted:
+            group = update.group
+            if int(update.user_id) in survivor_ids:
+                correction = report.masked_vector_scalars - int(update.upload_size)
+            else:
+                correction = -int(update.upload_size)
+            self.meter.uploads[group] = (
+                self.meter.uploads.get(group, 0) + correction
+            )
+
+    def _secure_abort_fallback(
+        self, accepted: Sequence[ClientUpdate], report: SecureRoundReport
+    ) -> None:
+        """Route an aborted round's updates into the availability path.
+
+        With a straggler buffer the updates are re-queued unscaled (they
+        are not stale — the round simply failed) and ride into the next
+        aggregation; without one they are dropped and counted, exactly
+        like a buffered update that aged out.
+        """
+        if self._straggler_buffer is not None:
+            self._straggler_buffer.add(list(accepted), weight=1.0)
+            return
+        self.meter.dropped_updates += len(accepted)
+        warnings.warn(
+            f"secure round {report.round_id} aborted at phase "
+            f"{report.abort_phase!r} with no straggler buffer configured; "
+            f"{len(accepted)} update(s) dropped",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def privacy_spent(self) -> Optional[PrivacySpent]:
+        """Cumulative (ε, δ) of the clipped-noise mechanism, or ``None``."""
+        if self._accountant is None:
+            return None
+        return self._accountant.spent()
 
     # ------------------------------------------------------------------
     # Training loop
@@ -611,7 +721,14 @@ class FederatedTrainer:
             ):
                 result = self.evaluate_with(evaluator)
                 recall, ndcg = result.recall, result.ndcg
-            self.history.log(epoch, mean_loss, recall=recall, ndcg=ndcg)
+            epsilon = delta = None
+            spent = self.privacy_spent()
+            if spent is not None:
+                epsilon, delta = spent.epsilon, spent.delta
+            self.history.log(
+                epoch, mean_loss, recall=recall, ndcg=ndcg,
+                epsilon=epsilon, delta=delta,
+            )
             self._epochs_done = epoch
             # The final epoch always saves: the checkpoint doubles as the
             # deploy artefact, so it must never trail the finished run.

@@ -67,8 +67,13 @@ class TrainerBackend:
     def end_epoch(self, epoch: int, losses: Sequence[float]) -> None:
         trainer = self.trainer
         trainer.post_aggregate(epoch)
+        epsilon = delta = None
+        spent = trainer.privacy_spent()
+        if spent is not None:
+            epsilon, delta = spent.epsilon, spent.delta
         trainer.history.log(
-            epoch, float(np.mean(losses)) if len(losses) else 0.0
+            epoch, float(np.mean(losses)) if len(losses) else 0.0,
+            epsilon=epsilon, delta=delta,
         )
         trainer._epochs_done = epoch
 

@@ -228,6 +228,19 @@ class ScenarioResult:
     mean_final_loss: float = 0.0
     param_digest: str = ""
     network: NetworkStats = field(default_factory=NetworkStats)
+    # Secure-aggregation protocol counters (all zero/empty unless the
+    # scenario routes rounds through repro.federated.secure_protocol).
+    secure_rounds_applied: int = 0
+    secure_rounds_aborted: int = 0
+    #: Faults injected per protocol phase: ``{phase: client-drop count}``.
+    secure_dropouts_injected: Dict[str, int] = field(default_factory=dict)
+    #: Protocol control traffic per phase, scalar-equivalents.
+    secure_phase_wire: Dict[str, float] = field(default_factory=dict)
+    #: Largest |masked-decoded sum − surviving plain sum| coordinate seen
+    #: across applied secure rounds (conservation check; must stay within
+    #: the fixed-point quantisation bound × survivors).
+    secure_max_sum_error: float = 0.0
+    secure_saturated_scalars: int = 0
     wall_seconds: float = 0.0
 
     def fingerprint(self) -> Dict[str, object]:
@@ -266,4 +279,19 @@ class ScenarioResult:
             f"  mean final loss       {self.mean_final_loss:.6f}",
             f"  param digest          {self.param_digest[:16]}…",
             f"  wall time             {self.wall_seconds:.2f}s",
+        ] + self._secure_lines()
+
+    def _secure_lines(self) -> list:
+        if not (self.secure_rounds_applied or self.secure_rounds_aborted):
+            return []
+        injected = sum(self.secure_dropouts_injected.values())
+        return [
+            f"  secure rounds         {self.secure_rounds_applied:,} applied, "
+            f"{self.secure_rounds_aborted:,} aborted "
+            f"({injected:,} dropouts injected across phases)",
+            f"  secure protocol wire  {sum(self.secure_phase_wire.values()):,.0f} "
+            f"scalars ({', '.join(f'{p}: {v:,.0f}' for p, v in sorted(self.secure_phase_wire.items()))})",
+            f"  secure conservation   max |masked−plain| sum error "
+            f"{self.secure_max_sum_error:.3e} "
+            f"({self.secure_saturated_scalars:,} saturated scalars)",
         ]

@@ -191,7 +191,13 @@ class ArrivalModel:
 class SimStreams:
     """The full set of owned RNG streams one simulation consumes."""
 
-    NAMES = ("arrival", "latency", "dropout", "duplicate", "attack", "population")
+    # "secure" (fault draws for the secure-aggregation protocol) is
+    # appended LAST: SeedSequence.spawn children are prefix-stable, so
+    # every pre-existing stream keeps its exact draw sequence.
+    NAMES = (
+        "arrival", "latency", "dropout", "duplicate", "attack", "population",
+        "secure",
+    )
 
     def __init__(self, seed: int) -> None:
         streams = spawn_streams(seed, self.NAMES)
@@ -201,6 +207,7 @@ class SimStreams:
         self.duplicate = streams["duplicate"]
         self.attack = streams["attack"]
         self.population = streams["population"]
+        self.secure = streams["secure"]
 
     def export_state(self) -> Dict[str, dict]:
         """Checkpoint-compatible snapshot of every stream."""

@@ -16,7 +16,10 @@ Fault families covered (each asserted by the test suite):
   ``merge_duplicate_users`` in the hot aggregation path;
 * ``flapping`` — Markov availability (clients oscillate offline/online);
 * ``poisoning`` — spam/poisoning at population scale through the real
-  :mod:`repro.robustness.attacks` transformations.
+  :mod:`repro.robustness.attacks` transformations;
+* ``secure_dropout`` — every aggregation runs the phased secure-masking
+  protocol with dropouts/duplicates injected at every protocol phase and
+  periodic below-threshold abort storms (see :mod:`repro.sim.secure`).
 """
 
 from __future__ import annotations
@@ -29,24 +32,32 @@ from repro.robustness.attacks import AttackConfig
 from repro.sim.async_server import AsyncFedServer
 from repro.sim.config import ScenarioResult, SimulationConfig
 from repro.sim.engine import SimStreams
-from repro.sim.population import SurrogateFleet
+from repro.sim.population import SURROGATE_GROUP, SurrogateFleet
+from repro.sim.secure import SecureAggregatingBackend, SecureScenarioConfig
 from repro.sim.scenarios import (  # noqa: E402  (registry population)
     baseline,
     dropout_storm,
     duplicate_uploads,
     flapping,
     poisoning,
+    secure_dropout,
     straggler_flood,
 )
 
 
 @dataclass
 class ScenarioSpec:
-    """A named, fully-resolved scenario: config plus optional attack."""
+    """A named, fully-resolved scenario: config plus optional faults.
+
+    ``attack`` poisons client updates inside the fleet; ``secure`` routes
+    every aggregation through the phased secure-masking protocol with
+    the configured fault injection.
+    """
 
     name: str
     config: SimulationConfig
     attack: Optional[AttackConfig] = None
+    secure: Optional[SecureScenarioConfig] = None
 
 
 #: name -> build(base_config) -> ScenarioSpec
@@ -59,6 +70,7 @@ SCENARIOS: Dict[str, Callable[[SimulationConfig], ScenarioSpec]] = {
         duplicate_uploads,
         flapping,
         poisoning,
+        secure_dropout,
     )
 }
 
@@ -72,7 +84,9 @@ def build_scenario(
         raise KeyError(f"unknown scenario {name!r}; known: {known}")
     spec = SCENARIOS[name](base if base is not None else SimulationConfig())
     if overrides:
-        spec = ScenarioSpec(spec.name, spec.config.copy_with(**overrides), spec.attack)
+        spec = ScenarioSpec(
+            spec.name, spec.config.copy_with(**overrides), spec.attack, spec.secure
+        )
     return spec
 
 
@@ -96,7 +110,9 @@ def run_scenario(
     elif isinstance(scenario, ScenarioSpec):
         spec = scenario
         if overrides:
-            spec = ScenarioSpec(spec.name, spec.config.copy_with(**overrides), spec.attack)
+            spec = ScenarioSpec(
+                spec.name, spec.config.copy_with(**overrides), spec.attack, spec.secure
+            )
     else:
         spec = build_scenario(scenario, base, **overrides)
 
@@ -115,10 +131,28 @@ def _run(spec: ScenarioSpec, store_dir: str) -> ScenarioResult:
         attack=spec.attack,
         attack_rng=streams.attack,
     )
+    backend = fleet
+    if spec.secure is not None:
+        backend = SecureAggregatingBackend(
+            fleet,
+            dims={SURROGATE_GROUP: spec.config.dim},
+            config=spec.secure,
+            rng=streams.secure,
+        )
     try:
-        server = AsyncFedServer(fleet, spec.config, name=spec.name, streams=streams)
+        server = AsyncFedServer(backend, spec.config, name=spec.name, streams=streams)
         result = server.run()
         result.poisoned_updates = fleet.poisoned_updates
+        if spec.secure is not None:
+            result.secure_rounds_applied = backend.rounds_applied
+            result.secure_rounds_aborted = backend.rounds_aborted
+            result.secure_dropouts_injected = dict(backend.dropouts_injected)
+            result.secure_phase_wire = dict(backend.phase_wire)
+            result.secure_max_sum_error = backend.max_sum_error
+            result.secure_saturated_scalars = backend.saturated_scalars
+            # Updates stranded in an aborted final round never reached
+            # the model — account them as dropped, not silently lost.
+            result.dropped_updates += backend.carried_unapplied
         return result
     finally:
         fleet.close()

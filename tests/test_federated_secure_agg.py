@@ -1,5 +1,7 @@
 """Tests for secure aggregation: codec, masking, dropout, heterogeneity."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -29,8 +31,17 @@ class TestFixedPointCodec:
 
     def test_clipping_applies(self):
         codec = FixedPointCodec(precision_bits=8, clip_range=2.0)
-        decoded = codec.decode(codec.encode(np.array([100.0, -100.0])))
+        with pytest.warns(RuntimeWarning, match="saturated 2 scalar"):
+            decoded = codec.decode(codec.encode(np.array([100.0, -100.0])))
         assert np.allclose(decoded, [2.0, -2.0])
+        assert codec.saturated_total == 2
+
+    def test_in_range_values_do_not_warn_or_count(self):
+        codec = FixedPointCodec(precision_bits=8, clip_range=2.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            codec.encode(np.array([1.5, -1.99, 0.0]))
+        assert codec.saturated_total == 0
 
     def test_negative_values_survive_field_representation(self):
         codec = FixedPointCodec()

@@ -38,6 +38,7 @@ class TestRegistry:
             "ablation_arch",
             "ablation_robustness",
             "ablation_systems",
+            "ablation_privacy",
         }
         assert set(ARTEFACTS) == expected | ablations
 

@@ -20,6 +20,7 @@ class TestCatalogue:
         assert set(SCENARIOS) == {
             "baseline", "dropout_storm", "straggler_flood",
             "duplicate_uploads", "flapping", "poisoning",
+            "secure_dropout",
         }
 
     def test_unknown_scenario_rejected(self):
@@ -118,6 +119,19 @@ class TestFaultFamilies:
             result.clients_simulated + result.clients_unavailable
             == small_base().num_clients
         )
+
+    def test_secure_dropout_faults_every_phase(self):
+        result = run_scenario("secure_dropout", small_base())
+        assert result.secure_rounds_applied > 0
+        # The storm rounds (period 5, co-prime with the 4-phase target
+        # cycle) must force the below-threshold abort path.
+        assert result.secure_rounds_aborted > 0
+        for phase in ("advertise", "shares", "masked_input", "unmask"):
+            assert result.secure_dropouts_injected[phase] > 0, phase
+            assert result.secure_phase_wire[phase] > 0, phase
+        # Every applied round passed the adapter's conservation check
+        # (a violation raises); the residual is pure quantisation.
+        assert 0 <= result.secure_max_sum_error < 1e-5
 
     def test_poisoning_at_scale_counts_poisoned_updates(self):
         result = run_scenario("poisoning", small_base())
