@@ -9,15 +9,15 @@ recommendation quality and the dimensional-collapse diagnostic
 there, not just *that* it helps.
 """
 
-from repro import (
+from repro.api import (
     Evaluator,
+    format_table,
+    HeteFedRec,
     HeteFedRecConfig,
-    SyntheticConfig,
     load_benchmark_dataset,
+    SyntheticConfig,
     train_test_split_per_user,
 )
-from repro.core import HeteFedRec
-from repro.experiments.reporting import format_table
 
 VARIANTS = [
     ("HeteFedRec (full)", {}),

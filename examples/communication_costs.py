@@ -9,17 +9,15 @@ training run accumulates — including HeteFedRec's total traffic saving
 over All Large (small clients move small payloads).
 """
 
-from repro import (
-    HeteFedRecConfig,
-    SyntheticConfig,
+from repro.api import (
     build_method,
-    load_benchmark_dataset,
-    train_test_split_per_user,
-)
-from repro.experiments.table3 import (
     format_table3,
     hetefedrec_extra_head_cost,
+    HeteFedRecConfig,
+    load_benchmark_dataset,
     run_table3,
+    SyntheticConfig,
+    train_test_split_per_user,
 )
 
 

@@ -10,16 +10,16 @@ example sweeps codecs and reports upload volume next to ranking quality,
 with error feedback on and off for the aggressive top-k setting.
 """
 
-from repro import (
-    Evaluator,
-    HeteFedRecConfig,
-    SyntheticConfig,
+from repro.api import (
     build_method,
+    CompressionConfig,
+    Evaluator,
+    format_table,
+    HeteFedRecConfig,
     load_benchmark_dataset,
+    SyntheticConfig,
     train_test_split_per_user,
 )
-from repro.compression import CompressionConfig
-from repro.experiments.reporting import format_table
 
 CODECS = [
     ("dense uploads", None),

@@ -14,15 +14,16 @@ import tempfile
 
 import numpy as np
 
-from repro import (
+from repro.api import (
+    build_method,
+    dataset_statistics,
     Evaluator,
     HeteFedRecConfig,
-    build_method,
+    InteractionDataset,
+    load_movielens,
+    save_ratings,
     train_test_split_per_user,
 )
-from repro.data import InteractionDataset
-from repro.data.movielens import load_movielens, save_ratings
-from repro.data.stats import dataset_statistics
 
 
 def synthesize_interaction_log(num_users=120, num_items=300, seed=0):

@@ -1,9 +1,10 @@
-"""A deployment lifecycle: flaky devices, preemption, budgets, a user quits.
+"""A deployment lifecycle: flaky devices, preemption, serving, a user quits.
 
 Run:
     python examples/deployment_lifecycle.py
+    python examples/deployment_lifecycle.py --scale 0.01 --epochs 2  # smoke
 
-Four production concerns the paper's epoch-based evaluation abstracts
+Five production concerns the paper's epoch-based evaluation abstracts
 away, exercised end to end on one HeteFedRec deployment:
 
 1. **Availability** — 15% of selected devices are offline each round and
@@ -15,43 +16,55 @@ away, exercised end to end on one HeteFedRec deployment:
 3. **Wall-clock** — the analytic systems model converts payload sizes
    and device speeds into round times, showing what heterogeneous sizing
    buys in time-to-accuracy terms.
-4. **The right to be forgotten** — one user quits; contribution-ledger
+4. **Serving** — the final checkpoint goes straight into the online
+   :class:`RecommendationService`: top-k queries off the warm-loaded
+   models, then a zero-downtime hot-swap to a fresher checkpoint.
+5. **The right to be forgotten** — one user quits; contribution-ledger
    unlearning subtracts their recorded influence exactly and a recovery
    epoch smooths the remainder.
 """
 
+import argparse
 import os
 import tempfile
 
 import numpy as np
 
-from repro import (
+from repro.api import (
+    AvailabilityConfig,
     Evaluator,
     HeteFedRecConfig,
-    SyntheticConfig,
     load_benchmark_dataset,
-    train_test_split_per_user,
-)
-from repro.federated.availability import AvailabilityConfig
-from repro.federated.checkpoint import load_checkpoint
-from repro.federated.systems import (
-    SystemProfile,
+    recommend,
+    resume,
     round_time_summary,
+    save_checkpoint,
+    serve,
     simulate_round_times,
+    SyntheticConfig,
+    SystemProfile,
     time_to_accuracy,
+    train_test_split_per_user,
+    UnlearningHeteFedRec,
 )
-from repro.federated.unlearning import UnlearningHeteFedRec
 
 
 def main() -> None:
-    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=0.02, seed=0))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="user-count scale of the synthetic dataset")
+    parser.add_argument("--epochs", type=int, default=6,
+                        help="training schedule length (kill point: half)")
+    args = parser.parse_args()
+
+    dataset = load_benchmark_dataset("ml", SyntheticConfig(scale=args.scale, seed=0))
     clients = train_test_split_per_user(dataset, seed=0)
     evaluator = Evaluator(clients, k=20)
     print(f"{dataset}\n")
 
     # --- 1. Train under realistic availability --------------------------
     config = HeteFedRecConfig(
-        epochs=6,
+        epochs=args.epochs,
         seed=0,
         enable_reskd=False,  # keeps unlearning subtraction exact
         availability=AvailabilityConfig(
@@ -63,28 +76,30 @@ def main() -> None:
     result = evaluator.evaluate(trainer.score_all_items)
     print(f"trained under 15% offline / 10% stragglers: {result}")
 
-    # --- 2. Survive a preemption: kill at epoch 3, resume, finish -------
-    # The same schedule, but the coordinator "dies" after epoch 3.  The
+    # --- 2. Survive a preemption: kill mid-schedule, resume, finish -----
+    # The same schedule, but the coordinator "dies" half-way.  The
     # per-epoch autosave captures straggler buffer, ledger, RNG streams
     # and counters, so the resumed run replays the exact same stream.
-    ckpt = os.path.join(tempfile.mkdtemp(prefix="lifecycle-"), "run.ckpt.npz")
+    kill_at = max(1, args.epochs // 2)
+    workdir = tempfile.mkdtemp(prefix="lifecycle-")
+    ckpt = os.path.join(workdir, "run.ckpt.npz")
     preempted = UnlearningHeteFedRec(
         dataset.num_items, clients,
-        config.copy_with(epochs=3, checkpoint_path=ckpt, checkpoint_every=1),
+        config.copy_with(epochs=kill_at, checkpoint_path=ckpt, checkpoint_every=1),
     )
-    preempted.fit(evaluator)  # stops after epoch 3 — the "kill"
+    preempted.fit(evaluator)  # stops at the kill point
     resumed = UnlearningHeteFedRec(
         dataset.num_items, clients,
         config.copy_with(checkpoint_path=ckpt, checkpoint_every=1),
     )
-    load_checkpoint(resumed, ckpt)
-    resumed.fit(evaluator)  # continues at epoch 4, finishes the schedule
+    resume(resumed, ckpt)
+    resumed.fit(evaluator)  # continues past the kill, finishes the schedule
     bitwise = all(
         np.array_equal(resumed.score_all_items(c), trainer.score_all_items(c))
         for c in clients[:5]
     )
     print(
-        f"killed at epoch 3, resumed from {os.path.basename(ckpt)}: "
+        f"killed at epoch {kill_at}, resumed from {os.path.basename(ckpt)}: "
         f"bitwise-identical finish = {bitwise}"
     )
 
@@ -111,7 +126,33 @@ def main() -> None:
     print("(same NDCG schedule, cheaper rounds: heterogeneous sizing cuts "
           "the straggler tail)\n")
 
-    # --- 4. A user exercises the right to be forgotten -------------------
+    # --- 4. Deploy the checkpoint: serve queries, hot-swap an update ----
+    # The interrupted run's checkpoint goes live first; the finished
+    # run's checkpoint then hot-swaps in with zero downtime — in-flight
+    # queries complete on the old model, new queries see the new one.
+    final_ckpt = os.path.join(workdir, "final.ckpt.npz")
+    save_checkpoint(resumed, final_ckpt)
+    service = serve(ckpt, k=10)  # host=None: in-process service
+    user = clients[0].user_id
+    before = recommend(service, user, k=5)
+    version = service.swap(final_ckpt)
+    after = recommend(service, user, k=5)
+    print(
+        f"serving model v{before.model_version}: top-5 for user {user} = "
+        f"{before.items.tolist()}"
+    )
+    print(
+        f"hot-swapped to {os.path.basename(final_ckpt)} (v{version}) "
+        f"mid-traffic: top-5 now {after.items.tolist()}"
+    )
+    stats = service.stats()
+    print(
+        f"service stats: {stats['queries']} queries, {stats['swaps']} swap, "
+        f"cache {stats['cache']['hits']} hits / {stats['cache']['misses']} "
+        f"misses\n"
+    )
+
+    # --- 5. A user exercises the right to be forgotten -------------------
     quitter = trainer.clients[0].user_id
     contribution = trainer.ledger.embedding_contribution(quitter)
     norm = float(
@@ -119,11 +160,11 @@ def main() -> None:
     )
     print(f"user {quitter} quits; recorded influence norm {norm:.4f}")
     trainer.unlearn(quitter, recovery_epochs=1)
-    after = evaluator.evaluate(
+    after_unlearn = evaluator.evaluate(
         trainer.score_all_items,
         user_subset=[c.user_id for c in trainer.clients],
     )
-    print(f"after exact unlearning + 1 recovery epoch: {after}")
+    print(f"after exact unlearning + 1 recovery epoch: {after_unlearn}")
     print(f"population: {len(clients)} -> {len(trainer.clients)} clients")
 
 

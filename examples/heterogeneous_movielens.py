@@ -12,18 +12,20 @@ values); the defaults reproduce the documented comparison.
 
 import argparse
 
-from repro import (
-    Evaluator,
-    HeteFedRecConfig,
-    SyntheticConfig,
+from repro.api import (
     build_method,
+    DISPLAY_NAMES,
+    divide_clients,
+    Evaluator,
+    format_table,
+    group_counts,
+    HeteFedRecConfig,
     load_benchmark_dataset,
+    per_group_metrics,
+    SyntheticConfig,
+    TABLE2_ORDER,
     train_test_split_per_user,
 )
-from repro.baselines.registry import DISPLAY_NAMES, TABLE2_ORDER
-from repro.core.grouping import divide_clients, group_counts
-from repro.eval import per_group_metrics
-from repro.experiments.reporting import format_table
 
 EPOCHS = 12
 

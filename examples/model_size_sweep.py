@@ -9,15 +9,15 @@ non-monotone in model size, and HeteFedRec wins when the size range
 brackets the data's sweet spot.
 """
 
-from repro import (
-    Evaluator,
-    HeteFedRecConfig,
-    SyntheticConfig,
+from repro.api import (
     build_method,
+    Evaluator,
+    format_table,
+    HeteFedRecConfig,
     load_benchmark_dataset,
+    SyntheticConfig,
     train_test_split_per_user,
 )
-from repro.experiments.reporting import format_table
 
 SETTINGS = [
     ("{2,4,8}", {"s": 2, "m": 4, "l": 8}),

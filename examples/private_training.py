@@ -11,16 +11,16 @@ This example trains HeteFedRec with the three standard counter-measures
 privacy-utility trade-off.
 """
 
-from repro import (
-    Evaluator,
-    HeteFedRecConfig,
-    SyntheticConfig,
+from repro.api import (
     build_method,
+    Evaluator,
+    format_table,
+    HeteFedRecConfig,
     load_benchmark_dataset,
+    PrivacyConfig,
+    SyntheticConfig,
     train_test_split_per_user,
 )
-from repro.experiments.reporting import format_table
-from repro.federated.privacy import PrivacyConfig
 
 LEVELS = [
     ("no protection", None),

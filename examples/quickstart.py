@@ -12,12 +12,12 @@ uses tiny values); the defaults reproduce the documented walkthrough.
 
 import argparse
 
-from repro import (
+from repro.api import (
+    build_method,
     Evaluator,
     HeteFedRecConfig,
-    SyntheticConfig,
-    build_method,
     load_benchmark_dataset,
+    SyntheticConfig,
     train_test_split_per_user,
 )
 

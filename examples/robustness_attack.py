@@ -11,18 +11,16 @@ an unprotected heterogeneous aggregation takes and how much a robust
 server rule recovers.
 """
 
-from repro import (
-    Evaluator,
-    HeteFedRecConfig,
-    SyntheticConfig,
-    load_benchmark_dataset,
-    train_test_split_per_user,
-)
-from repro.experiments.reporting import format_table
-from repro.robustness import (
+from repro.api import (
     AdversarialHeteFedRec,
     AttackConfig,
+    Evaluator,
+    format_table,
+    HeteFedRecConfig,
+    load_benchmark_dataset,
     RobustAggregationConfig,
+    SyntheticConfig,
+    train_test_split_per_user,
 )
 
 ATTACK = AttackConfig(kind="signflip", fraction=0.2, scale=25.0, seed=7)

@@ -14,17 +14,15 @@ recovery.
 
 import numpy as np
 
-from repro import (
+from repro.api import (
+    build_method,
     Evaluator,
     HeteFedRecConfig,
-    SyntheticConfig,
-    build_method,
     load_benchmark_dataset,
-    train_test_split_per_user,
-)
-from repro.federated.secure_agg import (
     SecureAggregationConfig,
     SecureAggregationSession,
+    SyntheticConfig,
+    train_test_split_per_user,
 )
 
 

@@ -12,15 +12,16 @@ Table VI × Table VII grid on a validation signal, then trains the winner
 to full length and compares it to the paper's default setting.
 """
 
-from repro import (
+from repro.api import (
+    build_method,
+    Candidate,
     Evaluator,
     HeteFedRecConfig,
-    SyntheticConfig,
-    build_method,
     load_benchmark_dataset,
+    successive_halving,
+    SyntheticConfig,
     train_test_split_per_user,
 )
-from repro.core.size_search import Candidate, successive_halving
 
 CANDIDATES = [
     Candidate.make(ratios, dims)

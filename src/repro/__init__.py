@@ -6,6 +6,12 @@ numpy substrate: autodiff engine, NCF/LightGCN recommenders, federated
 simulation, the HeteFedRec framework, all six paper baselines, and the
 full experiment harness for every table and figure.
 
+The stable public import surface is :mod:`repro.api` — one module,
+six lifecycle verbs (``fit``, ``save_checkpoint``, ``resume``,
+``load_model``, ``recommend``, ``serve``) plus every public class and
+helper, re-exported lazily.  The names below stay importable from
+``repro`` directly for convenience.
+
 Quickstart
 ----------
 >>> from repro import quick_run
@@ -24,8 +30,16 @@ from repro.data import (
     train_test_split_per_user,
 )
 from repro.eval import Evaluator
+from repro.api import (
+    fit,
+    load_model,
+    recommend,
+    resume,
+    save_checkpoint,
+    serve,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HeteFedRec",
@@ -40,6 +54,12 @@ __all__ = [
     "train_test_split_per_user",
     "Evaluator",
     "quick_run",
+    "fit",
+    "load_model",
+    "recommend",
+    "resume",
+    "save_checkpoint",
+    "serve",
 ]
 
 

@@ -1,0 +1,250 @@
+"""The blessed public API: six verbs and one import surface.
+
+Everything a caller needs lives here.  The six **verbs** cover the full
+artefact lifecycle the repo is built around (train → checkpoint → serve
+→ keep training):
+
+========================  ==================================================
+verb                      does
+========================  ==================================================
+:func:`fit`               train a built method (checkpoint-resume aware)
+:func:`save_checkpoint`   persist a trainer's full state to one ``.npz``
+:func:`resume`            restore a trainer from a checkpoint, bitwise
+:func:`load_model`        rebuild one group's inference model from a
+                          checkpoint (group optional when unambiguous)
+:func:`recommend`         one-shot top-k answers straight off a checkpoint
+:func:`serve`             stand up the online serving layer (service
+                          object, or blocking HTTP front end)
+========================  ==================================================
+
+Every other public name (configs, datasets, evaluators, baselines,
+serving classes, experiment helpers) is re-exported here lazily — heavy
+subsystems import only when first touched — so
+
+    >>> from repro.api import HeteFedRecConfig, build_method, fit
+
+is the one import line callers and all ``examples/*.py`` use.  The old
+deep-import paths (``repro.federated.checkpoint.save_checkpoint`` and
+friends) keep working for one release but raise ``DeprecationWarning``;
+this module is the stable surface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.serving import Recommendation, RecommendationService
+
+# ----------------------------------------------------------------------
+# Lazy re-export surface: name -> defining module.  PEP 562 __getattr__
+# resolves these on first access so `import repro.api` stays light.
+# ----------------------------------------------------------------------
+_EXPORTS = {
+    # core framework
+    "HeteFedRec": "repro.core",
+    "HeteFedRecConfig": "repro.core",
+    "divide_clients": "repro.core.grouping",
+    "group_counts": "repro.core.grouping",
+    "Candidate": "repro.core.size_search",
+    "successive_halving": "repro.core.size_search",
+    # federation
+    "FederatedConfig": "repro.federated",
+    "FederatedTrainer": "repro.federated",
+    "AvailabilityConfig": "repro.federated.availability",
+    "PrivacyConfig": "repro.federated.privacy",
+    "SecureAggregationConfig": "repro.federated.secure_agg",
+    "SecureAggregationSession": "repro.federated.secure_agg",
+    "SystemProfile": "repro.federated.systems",
+    "round_time_summary": "repro.federated.systems",
+    "simulate_round_times": "repro.federated.systems",
+    "time_to_accuracy": "repro.federated.systems",
+    "UnlearningHeteFedRec": "repro.federated.unlearning",
+    # checkpoints
+    "CheckpointMismatchError": "repro.federated.checkpoint",
+    "UnknownGroupError": "repro.federated.checkpoint",
+    "checkpoint_groups": "repro.federated.checkpoint",
+    "read_manifest": "repro.federated.checkpoint",
+    "user_embedding_from_checkpoint": "repro.federated.checkpoint",
+    # baselines
+    "METHODS": "repro.baselines",
+    "build_method": "repro.baselines",
+    "DISPLAY_NAMES": "repro.baselines.registry",
+    "TABLE2_ORDER": "repro.baselines.registry",
+    # data
+    "InteractionDataset": "repro.data",
+    "SyntheticConfig": "repro.data",
+    "load_benchmark_dataset": "repro.data",
+    "train_test_split_per_user": "repro.data",
+    "load_movielens": "repro.data.movielens",
+    "save_ratings": "repro.data.movielens",
+    "dataset_statistics": "repro.data.stats",
+    # evaluation
+    "Evaluator": "repro.eval",
+    "per_group_metrics": "repro.eval",
+    "blocked_top_k": "repro.eval",
+    # subsystems
+    "CompressionConfig": "repro.compression",
+    "AdversarialHeteFedRec": "repro.robustness",
+    "AttackConfig": "repro.robustness",
+    "RobustAggregationConfig": "repro.robustness",
+    # experiment harness helpers the examples use
+    "format_table": "repro.experiments.reporting",
+    "format_table3": "repro.experiments.table3",
+    "hetefedrec_extra_head_cost": "repro.experiments.table3",
+    "run_table3": "repro.experiments.table3",
+    # serving
+    "RecommendationService": "repro.serving",
+    "RequestCoalescer": "repro.serving",
+    "Recommendation": "repro.serving",
+    "QueryRequest": "repro.serving",
+    "ModelSnapshot": "repro.serving",
+    "load_snapshot": "repro.serving",
+    "TopKCache": "repro.serving",
+    "UnknownUserError": "repro.serving",
+}
+
+__all__ = sorted(
+    [
+        "fit",
+        "save_checkpoint",
+        "resume",
+        "load_model",
+        "recommend",
+        "serve",
+        *_EXPORTS,
+    ]
+)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return __all__
+
+
+# ----------------------------------------------------------------------
+# The six verbs
+# ----------------------------------------------------------------------
+def fit(trainer, evaluator=None):
+    """Train ``trainer`` to its configured epoch budget; return the history.
+
+    Checkpoint-resume aware: a trainer restored via :func:`resume` picks
+    up at the epoch it left off, and a ``checkpoint_path`` in its config
+    keeps autosaving as training progresses.  ``evaluator`` (an
+    :class:`Evaluator`) turns on per-epoch metric tracking.
+    """
+    return trainer.fit(evaluator)
+
+
+def save_checkpoint(trainer, path: str) -> None:
+    """Persist ``trainer``'s full state — models, user embeddings, RNG
+    streams, progress — to one ``.npz`` checkpoint (plus a readable
+    ``.meta.json`` sidecar)."""
+    from repro.federated.checkpoint import save_checkpoint_impl
+
+    save_checkpoint_impl(trainer, path)
+
+
+def resume(trainer, path: str):
+    """Restore ``trainer`` from ``path`` and return it, ready to
+    :func:`fit` onward bitwise-identically to a never-interrupted run.
+
+    Raises :class:`CheckpointMismatchError` when the checkpoint was
+    produced under an incompatible configuration.
+    """
+    from repro.federated.checkpoint import load_checkpoint_impl
+
+    load_checkpoint_impl(trainer, path)
+    return trainer
+
+
+def load_model(path: str, group: Optional[str] = None):
+    """Rebuild one dim-group's inference model from a checkpoint.
+
+    Returns ``(model, meta)``.  ``group`` may be omitted when the
+    checkpoint holds a single group; otherwise the raised
+    :class:`UnknownGroupError` lists the valid choices.
+    """
+    from repro.federated.checkpoint import load_inference_model_impl
+
+    return load_inference_model_impl(path, group)
+
+
+def recommend(
+    checkpoint: Union[str, "RecommendationService"],
+    user_ids: Union[int, Sequence[int]],
+    k: int = 20,
+    exclude: Optional["np.ndarray"] = None,
+) -> Union["Recommendation", list]:
+    """One-shot top-k answers straight off a checkpoint.
+
+    ``checkpoint`` is a path (a throwaway service is warm-loaded for the
+    call) or an existing :class:`RecommendationService` (reusing its
+    cache and snapshot).  A scalar ``user_ids`` returns one
+    :class:`Recommendation`; a sequence returns a list, scored as one
+    batch.  For sustained traffic build the service once via
+    :func:`serve` instead of re-loading per call.
+    """
+    from repro.serving import QueryRequest, RecommendationService
+
+    service = (
+        checkpoint
+        if isinstance(checkpoint, RecommendationService)
+        else RecommendationService(checkpoint, k=k)
+    )
+    if isinstance(user_ids, (int,)) or hasattr(user_ids, "__index__"):
+        return service.query(int(user_ids), k=k, exclude=exclude)
+    requests = [QueryRequest(int(user), k, exclude) for user in user_ids]
+    return service.query_batch(requests)
+
+
+def serve(
+    checkpoint: str,
+    host: Optional[str] = None,
+    port: int = 8777,
+    k: int = 20,
+    cache_size: int = 4096,
+    max_batch: int = 32,
+    max_wait_ms: float = 5.0,
+    history=None,
+    exclude_seen: bool = False,
+    verbose: bool = True,
+):
+    """Stand up the online serving layer over ``checkpoint``.
+
+    With ``host=None`` (the default) returns a ready
+    :class:`RecommendationService` for in-process use — query it, swap
+    checkpoints into it, wrap it in a :class:`RequestCoalescer`.  With a
+    ``host`` it *blocks*, running the stdlib JSON front end on
+    ``host:port`` (the ``repro serve`` CLI entry) with concurrent HTTP
+    requests coalesced into blocked matmuls.
+    """
+    from repro.serving import RecommendationService
+
+    service = RecommendationService(
+        checkpoint,
+        k=k,
+        cache_size=cache_size,
+        history=history,
+        exclude_seen=exclude_seen,
+    )
+    if host is None:
+        return service
+    from repro.serving.coalescer import RequestCoalescer
+    from repro.serving.http_api import run_server
+
+    coalescer = RequestCoalescer(service, max_batch=max_batch, max_wait_ms=max_wait_ms)
+    run_server(service, host=host, port=port, coalescer=coalescer, verbose=verbose)
+    return service

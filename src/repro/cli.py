@@ -20,9 +20,17 @@ Subcommands
     Run a named fault-injection scenario from :mod:`repro.sim` against
     the population-scale surrogate fleet and print its deterministic
     accounting (rounds applied/short/skipped, wire bytes, drops).
+``serve``
+    Serve a trained checkpoint over HTTP: ``repro serve ckpt.npz``
+    warm-loads every group's model and answers
+    ``GET /v1/recommend?user=ID&k=K`` with coalesced blocked scoring,
+    hot top-k caching and zero-downtime ``POST /v1/swap``.
 
-Every subcommand is a thin shell over the public library API — anything
-the CLI does is one import away in a notebook.
+Flag conventions, uniform across subcommands where they apply:
+``--checkpoint PATH`` (training state in/out), ``--jobs N`` (worker
+parallelism), ``--json`` (machine-readable output).  Every subcommand
+is a thin shell over :mod:`repro.api` — anything the CLI does is one
+import away in a notebook.
 """
 
 from __future__ import annotations
@@ -67,7 +75,7 @@ def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.federated.checkpoint import load_checkpoint
+    from repro.api import resume
 
     dataset = _load_dataset(args)
     clients = train_test_split_per_user(dataset, seed=args.seed)
@@ -94,19 +102,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     trainer = build_method(args.method, dataset.num_items, clients, config)
     evaluator = Evaluator(clients, k=args.k)
-    print(f"training {DISPLAY_NAMES.get(args.method, args.method)} "
-          f"({args.arch}) on {dataset.name}: "
-          f"{dataset.num_users} users, {dataset.num_items} items")
+    if not args.json:
+        print(f"training {DISPLAY_NAMES.get(args.method, args.method)} "
+              f"({args.arch}) on {dataset.name}: "
+              f"{dataset.num_users} users, {dataset.num_items} items")
     if args.resume:
-        load_checkpoint(trainer, args.resume)
-        print(f"resumed from {args.resume} at epoch {trainer.epochs_completed}")
+        resume(trainer, args.resume)
+        if not args.json:
+            print(f"resumed from {args.resume} at epoch {trainer.epochs_completed}")
     trainer.fit()
     result = trainer.evaluate_with(evaluator)
-    print(result)
     comm = trainer.meter.per_client_round()
-    print(f"communication: {comm:,.0f} scalars per client-round")
     privacy_spent = getattr(trainer, "privacy_spent", lambda: None)
     spent = privacy_spent()
+    if args.json:
+        import json
+
+        payload = {
+            "method": args.method,
+            "arch": args.arch,
+            "dataset": dataset.name,
+            "epochs": trainer.epochs_completed,
+            "k": result.k,
+            "recall": result.recall,
+            "ndcg": result.ndcg,
+            "comm_scalars_per_client_round": comm,
+        }
+        if spent is not None:
+            payload["privacy"] = {
+                "epsilon": spent.epsilon,
+                "delta": spent.delta,
+                "rounds": spent.rounds,
+                "mechanism": spent.mechanism,
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(result)
+    print(f"communication: {comm:,.0f} scalars per client-round")
     if spent is not None:
         print(f"privacy: ({spent.epsilon:.4f}, {spent.delta:.2e})-DP "
               f"over {spent.rounds} rounds ({spent.mechanism} composition)")
@@ -118,7 +150,30 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     written = run_all(profile=args.profile, out_dir=args.out,
                       archs=tuple(args.archs), jobs=args.jobs)
-    print(f"wrote {len(written)} artefacts to {args.out}/")
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {"out_dir": args.out, "artefacts": sorted(map(str, written))},
+            indent=2,
+        ))
+    else:
+        print(f"wrote {len(written)} artefacts to {args.out}/")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import serve
+
+    serve(
+        args.checkpoint,
+        host=args.host,
+        port=args.port,
+        k=args.k,
+        cache_size=args.cache_size,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
     return 0
 
 
@@ -231,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore full training state from PATH before training and "
         "continue the run bitwise-identically (keeps autosaving there)",
     )
+    run_parser.add_argument(
+        "--json", action="store_true",
+        help="print the evaluation as machine-readable JSON",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     exp_parser = subparsers.add_parser(
@@ -243,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for the deduped training grid "
         "(default: serial; cache misses fan out over N processes)",
+    )
+    exp_parser.add_argument(
+        "--json", action="store_true",
+        help="print the written artefact list as machine-readable JSON",
     )
     exp_parser.set_defaults(func=_cmd_experiments)
 
@@ -285,6 +348,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full deterministic fingerprint as JSON",
     )
     sim_parser.set_defaults(func=_cmd_simulate)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve a trained checkpoint over HTTP (JSON API)"
+    )
+    serve_parser.add_argument(
+        "checkpoint", metavar="CHECKPOINT",
+        help="the .npz training checkpoint to warm-load and serve",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8777)
+    serve_parser.add_argument("--k", type=int, default=20,
+                              help="default top-k cut-off (default: 20)")
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="hot top-k cache capacity; 0 disables caching (default: 4096)",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=32, metavar="B",
+        help="coalescer size trigger: flush once B queries are parked "
+        "(default: 32)",
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms", type=float, default=5.0, metavar="MS",
+        help="coalescer deadline trigger: a query never waits for company "
+        "longer than MS milliseconds (default: 5)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -1,6 +1,13 @@
 """Evaluation: Recall@K, NDCG@K, per-user ranking, per-group breakdowns."""
 
-from repro.eval.metrics import ndcg_at_k, rank_items, recall_at_k
+from repro.eval.metrics import (
+    blocked_top_k,
+    mask_scored_items,
+    ndcg_at_k,
+    partial_top_k,
+    rank_items,
+    recall_at_k,
+)
 from repro.eval.extra_metrics import (
     auc_score,
     extended_user_metrics,
@@ -24,6 +31,9 @@ __all__ = [
     "recall_at_k",
     "ndcg_at_k",
     "rank_items",
+    "blocked_top_k",
+    "partial_top_k",
+    "mask_scored_items",
     "hit_rate_at_k",
     "precision_at_k",
     "mrr_at_k",

@@ -14,7 +14,13 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.data.dataset import ClientData
-from repro.eval.metrics import blocked_top_k, ndcg_at_k, rank_items, recall_at_k
+from repro.eval.metrics import (
+    blocked_top_k,
+    mask_scored_items,
+    ndcg_at_k,
+    rank_items,
+    recall_at_k,
+)
 
 ScoreFn = Callable[[ClientData], np.ndarray]
 #: Batched scoring hook: a block of clients → a (B, num_items) score matrix.
@@ -154,17 +160,8 @@ class Evaluator:
         ideal_cum: np.ndarray,
     ) -> tuple:
         """Recall@k / NDCG@k for one scored block, fully vectorized."""
-        num_users = scores.shape[0]
-        rows = np.arange(num_users)
-
         # Vectorized exclusion masking: one fancy assignment for the block.
-        known_lengths = np.array([c.known_items().size for c in block])
-        if known_lengths.sum() > 0:
-            mask_rows = np.repeat(rows, known_lengths)
-            mask_cols = np.concatenate(
-                [np.asarray(c.known_items(), dtype=np.int64) for c in block]
-            )
-            scores[mask_rows, mask_cols] = -np.inf
+        mask_scored_items(scores, [c.known_items() for c in block])
 
         top = blocked_top_k(scores, self.k)
 

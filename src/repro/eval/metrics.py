@@ -97,6 +97,37 @@ def blocked_top_k(scores: np.ndarray, k: int) -> np.ndarray:
     return top
 
 
+def mask_scored_items(
+    scores: np.ndarray, exclude: Sequence[Optional[np.ndarray]]
+) -> np.ndarray:
+    """Mask per-row item exclusions out of a (B, I) score block, in place.
+
+    ``exclude`` aligns with the rows: one id array (or ``None``) per row.
+    The single definition of exclusion masking shared by the evaluator's
+    full-ranking protocol and the serving layer's top-k path — masked
+    items score ``-inf`` and therefore never rank.  Returns ``scores``.
+    """
+    if scores.ndim != 2 or len(exclude) != scores.shape[0]:
+        raise ValueError(
+            f"expected one exclusion list per row of a (B, I) block, got "
+            f"{len(exclude)} lists for shape {scores.shape}"
+        )
+    lengths = np.array(
+        [0 if items is None else np.asarray(items).size for items in exclude]
+    )
+    if lengths.sum() > 0:
+        rows = np.repeat(np.arange(scores.shape[0]), lengths)
+        cols = np.concatenate(
+            [
+                np.asarray(items, dtype=np.int64)
+                for items in exclude
+                if items is not None and np.asarray(items).size
+            ]
+        )
+        scores[rows, cols] = -np.inf
+    return scores
+
+
 def recall_at_k(ranked: Sequence[int], relevant: Sequence[int], k: int = 20) -> float:
     """|top-K ∩ relevant| / |relevant|; NaN-free (empty relevant → 0)."""
     relevant_set = set(int(i) for i in relevant)

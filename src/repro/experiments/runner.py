@@ -305,7 +305,7 @@ def _train_spec(spec: RunSpec, checkpoint: bool = False) -> RunResult:
     """
     from repro.federated.checkpoint import (
         CheckpointMismatchError,
-        load_checkpoint,
+        load_checkpoint_impl as load_checkpoint,
         remove_checkpoint,
     )
 

@@ -69,8 +69,11 @@ from repro.federated.round_engine import (
 )
 from repro.federated.checkpoint import (
     CheckpointMismatchError,
+    UnknownGroupError,
+    checkpoint_groups,
     load_checkpoint,
     load_inference_model,
+    load_user_embeddings,
     read_manifest,
     remove_checkpoint,
     save_checkpoint,
@@ -119,9 +122,12 @@ __all__ = [
     "VectorizedRoundEngine",
     "engine_supports",
     "CheckpointMismatchError",
+    "UnknownGroupError",
+    "checkpoint_groups",
     "save_checkpoint",
     "load_checkpoint",
     "load_inference_model",
+    "load_user_embeddings",
     "read_manifest",
     "remove_checkpoint",
     "user_embedding_from_checkpoint",

@@ -40,11 +40,13 @@ trainer.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 import os
 import tempfile
-from typing import Dict, List, Tuple
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,6 +62,19 @@ FORMAT_VERSION = 3
 
 class CheckpointMismatchError(ValueError):
     """The checkpoint does not describe the trainer it is being loaded into."""
+
+
+class UnknownGroupError(KeyError):
+    """A dim-group name that the checkpoint's manifest does not carry.
+
+    Subclasses :class:`KeyError` for backward compatibility with callers
+    that caught the old bare ``KeyError``, but renders its message plain
+    (``KeyError.__str__`` would wrap it in quotes) and always lists the
+    valid groups.
+    """
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.args[0] if self.args else ""
 
 
 # ----------------------------------------------------------------------
@@ -532,17 +547,37 @@ def load_checkpoint(trainer, path: str) -> None:
 # ----------------------------------------------------------------------
 # Deploy-side loading
 # ----------------------------------------------------------------------
-def load_inference_model(path: str, group: str):
+def checkpoint_groups(path: str) -> List[str]:
+    """The dim-group names a checkpoint carries models for, sorted."""
+    return sorted(read_manifest(path)["dims"])
+
+
+def load_inference_model(path: str, group: Optional[str] = None):
     """Rebuild one group's recommender from a checkpoint for serving.
 
     Returns ``(model, meta)``; score a user by passing their embedding
     (also in the checkpoint, under ``user/{id}``) to ``model.logits``.
     The model is rebuilt in the dtype it was trained in — the manifest
     records ``config.dtype``, so a float32 run deploys as float32.
+
+    ``group`` may be omitted when the checkpoint carries exactly one
+    group (the homogeneous baselines); with several groups, or with a
+    name the manifest does not know, :class:`UnknownGroupError` names
+    the valid choices instead of failing bare.
     """
     meta = read_manifest(path)
-    if group not in meta["dims"]:
-        raise KeyError(f"group {group!r} not in checkpoint (has {sorted(meta['dims'])})")
+    groups = sorted(meta["dims"])
+    if group is None:
+        if len(groups) != 1:
+            raise UnknownGroupError(
+                f"checkpoint {path!r} holds models for groups {groups}; "
+                "pass group=<name> to choose one"
+            )
+        group = groups[0]
+    elif group not in meta["dims"]:
+        raise UnknownGroupError(
+            f"group {group!r} not in checkpoint {path!r} (valid groups: {groups})"
+        )
 
     archive = np.load(_npz_path(path))
     model = build_model(
@@ -572,3 +607,55 @@ def user_embedding_from_checkpoint(path: str, user_id: int) -> np.ndarray:
     if key not in archive.files:
         raise KeyError(f"no embedding stored for user {user_id}")
     return archive[key]
+
+
+def load_user_embeddings(path: str) -> Dict[int, np.ndarray]:
+    """Every user's private embedding from a checkpoint, keyed by id.
+
+    The serving layer's warm-load: one archive pass instead of a
+    :func:`user_embedding_from_checkpoint` round trip per user.
+    """
+    embeddings: Dict[int, np.ndarray] = {}
+    with np.load(_npz_path(path)) as archive:
+        for key in archive.files:
+            if key.startswith("user/"):
+                embeddings[int(key[len("user/"):])] = archive[key]
+    return embeddings
+
+
+# ----------------------------------------------------------------------
+# Facade deprecation shims (PR 8)
+# ----------------------------------------------------------------------
+# The blessed import surface for the checkpoint verbs is ``repro.api``
+# (``save_checkpoint`` / ``resume`` / ``load_model``).  The deep paths
+# below keep working for one release but warn; the undecorated
+# implementations stay importable under ``*_impl`` names for internal
+# call sites (and for ``repro.api`` itself), which must not warn.
+save_checkpoint_impl = save_checkpoint
+load_checkpoint_impl = load_checkpoint
+load_inference_model_impl = load_inference_model
+
+
+def _deprecated_verb(impl, old: str, new: str):
+    @functools.wraps(impl)
+    def shim(*args, **kwargs):
+        warnings.warn(
+            f"importing {old} from repro.federated.checkpoint is deprecated "
+            f"and will be removed one release after 1.1; use {new} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return impl(*args, **kwargs)
+
+    return shim
+
+
+save_checkpoint = _deprecated_verb(
+    save_checkpoint_impl, "save_checkpoint", "repro.api.save_checkpoint"
+)
+load_checkpoint = _deprecated_verb(
+    load_checkpoint_impl, "load_checkpoint", "repro.api.resume"
+)
+load_inference_model = _deprecated_verb(
+    load_inference_model_impl, "load_inference_model", "repro.api.load_model"
+)

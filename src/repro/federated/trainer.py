@@ -735,7 +735,9 @@ class FederatedTrainer:
             if autosave and (
                 epoch % cfg.checkpoint_every == 0 or epoch == cfg.epochs
             ):
-                from repro.federated.checkpoint import save_checkpoint
+                from repro.federated.checkpoint import (
+                    save_checkpoint_impl as save_checkpoint,
+                )
 
                 save_checkpoint(self, cfg.checkpoint_path)
         return self.history

@@ -1,0 +1,86 @@
+"""Hot top-k cache for the serving layer.
+
+Recommendation traffic is heavily repeat-skewed (the same user asks for
+the same front page many times between training rounds), while the
+underlying answer only changes when a new checkpoint is swapped in.  The
+cache therefore keys every entry by ``(model_version, user_id, k)``: a
+hot-swap bumps the version, so stale entries can never be served even
+before :meth:`TopKCache.invalidate` reclaims their memory.
+
+Plain-python LRU (an :class:`~collections.OrderedDict` under a lock) —
+bounded, thread-safe, and dependency-free, matching the rest of the
+serving core.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+
+class TopKCache:
+    """Bounded LRU cache with hit/miss accounting.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; ``0`` disables the cache entirely (every ``get`` is a
+        miss, every ``put`` a no-op) — benchmarks use this to isolate
+        the scoring path.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Tuple[Hashable, ...], object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, key: Tuple[Hashable, ...]) -> Optional[object]:
+        """The cached value for ``key`` (refreshing its recency), or None."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Tuple[Hashable, ...], value: object) -> None:
+        if self.max_entries <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate(self) -> int:
+        """Drop every entry; returns how many were evicted.
+
+        Version-keyed entries are already unreachable after a swap — this
+        reclaims their memory and is also the explicit escape hatch for
+        out-of-band model edits.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += 1
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,170 @@
+"""Optional stdlib HTTP front end for the recommendation service.
+
+Kept deliberately out of the core's import path: the batching / caching
+/ hot-swap machinery in :mod:`repro.serving.service` is plain python and
+fully usable (and tested) without a server; this module only adds a thin
+JSON transport over :mod:`http.server` for deployments that want one —
+no third-party dependency, started via ``python -m repro serve``.
+
+Routes
+------
+``GET /healthz``
+    Liveness + the serving model version.
+``GET /v1/recommend?user=ID[&k=K]``
+    Top-k answer for one user, through the request coalescer (so
+    concurrent HTTP requests batch into one blocked matmul).
+``GET /v1/stats``
+    Service / cache / coalescer counters.
+``POST /v1/swap`` with body ``{"checkpoint": PATH}``
+    Zero-downtime hot-swap to a newer checkpoint; 409 on a manifest
+    mismatch (the old model keeps serving).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.federated.checkpoint import CheckpointMismatchError
+from repro.serving.coalescer import RequestCoalescer
+from repro.serving.service import RecommendationService, UnknownUserError
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    """Request handler bound to a service + coalescer via the server."""
+
+    server: "ServingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            service = self.server.service
+            self._reply(
+                200,
+                {
+                    "status": "ok",
+                    "model_version": service.model_version,
+                    "checkpoint": service.checkpoint_path,
+                },
+            )
+        elif url.path == "/v1/recommend":
+            self._recommend(parse_qs(url.query))
+        elif url.path == "/v1/stats":
+            stats = dict(self.server.service.stats())
+            stats["coalescer"] = self.server.coalescer.stats()
+            self._reply(200, stats)
+        else:
+            self._error(404, f"no route {url.path!r}")
+
+    def _recommend(self, query: dict) -> None:
+        try:
+            user_id = int(query["user"][0])
+            k = int(query["k"][0]) if "k" in query else None
+        except (KeyError, ValueError):
+            self._error(400, "expected ?user=<int>[&k=<int>]")
+            return
+        try:
+            answer = self.server.coalescer.submit(user_id, k=k)
+        except UnknownUserError as error:
+            self._error(404, str(error))
+            return
+        self._reply(200, answer.to_json())
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        if url.path != "/v1/swap":
+            self._error(404, f"no route {url.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            checkpoint = payload["checkpoint"]
+        except (ValueError, KeyError):
+            self._error(400, 'expected JSON body {"checkpoint": PATH}')
+            return
+        try:
+            version = self.server.service.swap(checkpoint)
+        except CheckpointMismatchError as error:
+            self._error(409, str(error))
+            return
+        except (FileNotFoundError, OSError) as error:
+            self._error(400, f"checkpoint unreadable: {error}")
+            return
+        self._reply(200, {"status": "swapped", "model_version": version})
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server wired to one service + coalescer."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: RecommendationService,
+        address: Tuple[str, int] = ("127.0.0.1", 8777),
+        coalescer: Optional[RequestCoalescer] = None,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, ServingHandler)
+        self.service = service
+        self.coalescer = coalescer or RequestCoalescer(service)
+        self.verbose = verbose
+
+    def shutdown(self) -> None:  # noqa: D102 - inherited semantics
+        super().shutdown()
+        self.coalescer.close()
+
+
+def run_server(
+    service: RecommendationService,
+    host: str = "127.0.0.1",
+    port: int = 8777,
+    coalescer: Optional[RequestCoalescer] = None,
+    verbose: bool = True,
+    ready: Optional[threading.Event] = None,
+) -> None:
+    """Serve until interrupted (the blocking entry ``repro serve`` uses)."""
+    server = ServingHTTPServer(
+        service, (host, port), coalescer=coalescer, verbose=verbose
+    )
+    if verbose:
+        bound = server.server_address
+        print(
+            f"serving checkpoint {service.checkpoint_path} "
+            f"(model version {service.model_version}, "
+            f"{service.stats()['users']} users) on http://{bound[0]}:{bound[1]}"
+        )
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,408 @@
+"""The recommendation service: a checkpoint, warm-loaded and answering.
+
+PR 5 made the training checkpoint "the deploy artefact"; this module is
+the other half of that contract — :class:`RecommendationService` loads
+every group's model and every user's private embedding out of one
+checkpoint and answers top-k queries through the repo's blocked scorer
+(:meth:`~repro.models.base.BaseRecommender.score_matrix` +
+:func:`~repro.eval.metrics.blocked_top_k`), exactly the arithmetic the
+evaluator pins.
+
+Production shape, plain python:
+
+* **Immutable snapshots** — all per-checkpoint state (models, user
+  embeddings, group map, manifest) lives in one
+  :class:`ModelSnapshot`; a query reads ``self._snapshot`` once and
+  never looks again, so model state can never mix mid-request.
+* **Zero-downtime hot-swap** — :meth:`RecommendationService.swap`
+  builds and validates the next snapshot *completely* (raising
+  :class:`~repro.federated.checkpoint.CheckpointMismatchError` on an
+  incompatible manifest) before a single atomic rebind cuts traffic
+  over; in-flight queries finish on the snapshot they started with.
+* **Hot top-k cache** — answers are cached per
+  ``(model_version, user, k)`` (:mod:`repro.serving.cache`), so a swap
+  implicitly invalidates and :meth:`invalidate_cache` is the explicit
+  hatch.
+* **Batched scoring** — :meth:`query_batch` coalesces many users into
+  one blocked matmul per dim-group; :mod:`repro.serving.coalescer`
+  feeds it from concurrent callers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import blocked_top_k, mask_scored_items
+from repro.federated.checkpoint import (
+    CheckpointMismatchError,
+    load_inference_model_impl,
+    load_user_embeddings,
+    read_manifest,
+)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One top-k question: which ``k`` items should ``user_id`` see?
+
+    ``exclude`` masks item ids out of the ranking for this request only
+    (on top of the service-level seen-item exclusion, if configured);
+    requests carrying it bypass the cache.
+    """
+
+    user_id: int
+    k: Optional[int] = None
+    exclude: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A served answer, tagged with the model version that produced it."""
+
+    user_id: int
+    items: np.ndarray
+    scores: np.ndarray
+    model_version: int
+    cached: bool = False
+
+    def __post_init__(self) -> None:
+        items, scores = self.items, self.scores
+        if type(items) is not np.ndarray or items.dtype != np.int64:
+            object.__setattr__(self, "items", np.asarray(items, dtype=np.int64))
+        if type(scores) is not np.ndarray or scores.dtype != np.float64:
+            object.__setattr__(self, "scores", np.asarray(scores, dtype=np.float64))
+
+    def to_json(self) -> dict:
+        return {
+            "user": int(self.user_id),
+            "items": [int(i) for i in self.items],
+            "scores": [float(s) for s in self.scores],
+            "model_version": int(self.model_version),
+            "cached": bool(self.cached),
+        }
+
+
+@dataclass(frozen=True)
+class ModelSnapshot:
+    """Everything one checkpoint contributes to serving, immutable.
+
+    Queries hold a reference to the snapshot they started with; the
+    service swaps snapshots by rebinding one attribute, so a snapshot is
+    never mutated after construction.
+    """
+
+    version: int
+    path: str
+    meta: dict
+    models: Mapping[str, object]
+    embeddings: Mapping[int, np.ndarray]
+    group_of: Mapping[int, str]
+    num_items: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "num_items", int(self.meta["num_items"]))
+
+    @property
+    def groups(self) -> List[str]:
+        return sorted(self.models)
+
+    def user_ids(self) -> List[int]:
+        return sorted(self.embeddings)
+
+
+def load_snapshot(path: str, version: int = 1) -> ModelSnapshot:
+    """Warm-load a checkpoint into an immutable serving snapshot.
+
+    Rebuilds every group's model (in its trained dtype), reads all user
+    embeddings in one archive pass and takes the user→group map from the
+    manifest.  Everything that can fail, fails here — before the
+    snapshot ever sees traffic.
+    """
+    meta = read_manifest(path)
+    models = {
+        group: load_inference_model_impl(path, group)[0]
+        for group in sorted(meta["dims"])
+    }
+    embeddings = load_user_embeddings(path)
+    group_of = {int(user): group for user, group in meta["group_of"].items()}
+    return ModelSnapshot(
+        version=version,
+        path=path,
+        meta=meta,
+        models=models,
+        embeddings=embeddings,
+        group_of=group_of,
+    )
+
+
+class UnknownUserError(KeyError):
+    """A user id the serving snapshot has no embedding for."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.args[0] if self.args else ""
+
+
+class RecommendationService:
+    """Top-k recommendation over a warm-loaded checkpoint.
+
+    Parameters
+    ----------
+    checkpoint_path:
+        The ``.npz`` checkpoint to serve (every group, every user).
+    k:
+        Default cut-off for queries that do not pass their own.
+    cache_size:
+        Capacity of the hot top-k cache (``0`` disables caching).
+    history:
+        Optional per-user interacted-item ids.  When provided, they feed
+        architectures whose scoring propagates over the local graph
+        (LightGCN) and — with ``exclude_seen=True`` — are masked out of
+        every answer, matching the evaluator's full-ranking protocol.
+        The checkpoint itself carries no interaction data (clients own
+        their data), so this is the deployment's hook to supply it.
+    exclude_seen:
+        Mask each user's ``history`` items out of their answers.
+    """
+
+    def __init__(
+        self,
+        checkpoint_path: str,
+        k: int = 20,
+        cache_size: int = 4096,
+        history: Optional[Mapping[int, np.ndarray]] = None,
+        exclude_seen: bool = False,
+    ) -> None:
+        from repro.serving.cache import TopKCache
+
+        self.default_k = int(k)
+        self._history = dict(history) if history is not None else {}
+        self._exclude_seen = bool(exclude_seen) and bool(self._history)
+        self._cache = TopKCache(cache_size)
+        self._cache_enabled = int(cache_size) > 0
+        self._swap_lock = threading.Lock()
+        self._snapshot = load_snapshot(checkpoint_path, version=1)
+        self._queries = 0
+        self._batches = 0
+        self._swaps = 0
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> ModelSnapshot:
+        """The current snapshot (atomic read; safe from any thread)."""
+        return self._snapshot
+
+    @property
+    def model_version(self) -> int:
+        return self._snapshot.version
+
+    @property
+    def checkpoint_path(self) -> str:
+        return self._snapshot.path
+
+    @property
+    def num_items(self) -> int:
+        return self._snapshot.num_items
+
+    def stats(self) -> dict:
+        snap = self._snapshot
+        with self._stats_lock:
+            counters = {
+                "queries": self._queries,
+                "batches": self._batches,
+                "swaps": self._swaps,
+            }
+        return {
+            **counters,
+            "model_version": snap.version,
+            "checkpoint": os.path.basename(snap.path),
+            "groups": snap.groups,
+            "users": len(snap.embeddings),
+            "num_items": snap.num_items,
+            "arch": snap.meta.get("arch"),
+            "cache": self._cache.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        user_id: int,
+        k: Optional[int] = None,
+        exclude: Optional[np.ndarray] = None,
+    ) -> Recommendation:
+        """Answer one user's top-k query (cache-aware)."""
+        return self.query_batch([QueryRequest(int(user_id), k, exclude)])[0]
+
+    def query_batch(self, requests: Sequence[QueryRequest]) -> List[Recommendation]:
+        """Answer a batch of queries with one blocked matmul per dim-group.
+
+        The snapshot is read **once** for the whole batch: every answer
+        in it is produced by the same model version, which is what makes
+        hot-swap atomic from a caller's point of view.
+        """
+        snap = self._snapshot
+        with self._stats_lock:
+            self._queries += len(requests)
+            self._batches += 1
+
+        answers: List[Optional[Recommendation]] = [None] * len(requests)
+        if not self._cache_enabled:
+            # Cache off: every request is a miss; skip the scan entirely
+            # (unknown users are caught in the scoring group-up).
+            if requests:
+                self._score_misses(snap, requests, range(len(requests)), answers)
+            return answers  # type: ignore[return-value]
+
+        misses: List[int] = []
+        for i, request in enumerate(requests):
+            if request.exclude is None:
+                k = request.k if request.k is not None else self.default_k
+                hit = self._cache.get((snap.version, request.user_id, k))
+                if hit is not None:
+                    items, scores = hit
+                    answers[i] = Recommendation(
+                        request.user_id, items, scores, snap.version, cached=True
+                    )
+                    continue
+            misses.append(i)
+
+        if misses:
+            self._score_misses(snap, requests, misses, answers)
+        return answers  # type: ignore[return-value]
+
+    def _score_misses(
+        self,
+        snap: ModelSnapshot,
+        requests: Sequence[QueryRequest],
+        misses: Sequence[int],
+        answers: List[Optional[Recommendation]],
+    ) -> None:
+        """Score all cache misses, grouped into one matmul per dim-group."""
+        use_cache = self._cache_enabled
+        group_of = snap.group_of
+        by_group: Dict[str, List[int]] = {}
+        for i in misses:
+            user = requests[i].user_id
+            group = group_of.get(user)
+            if group is None:
+                raise UnknownUserError(
+                    f"user {user} not in checkpoint "
+                    f"{os.path.basename(snap.path)} "
+                    f"({len(snap.embeddings)} users)"
+                )
+            by_group.setdefault(group, []).append(i)
+
+        for group, indices in by_group.items():
+            model = snap.models[group]
+            users = [requests[i].user_id for i in indices]
+            user_mat = np.stack([snap.embeddings[u] for u in users])
+            train_items = (
+                [self._history.get(u) for u in users] if self._history else None
+            )
+            scores = np.asarray(
+                model.score_matrix(user_mat, train_items=train_items),
+                dtype=np.float64,
+            )
+            if self._exclude_seen or any(
+                requests[i].exclude is not None for i in indices
+            ):
+                exclusions = [
+                    self._exclusion_for(requests[i], requests[i].user_id)
+                    for i in indices
+                ]
+                mask_scored_items(scores, exclusions)
+
+            block_k = max(
+                (requests[i].k if requests[i].k is not None else self.default_k)
+                for i in indices
+            )
+            block_k = min(block_k, snap.num_items)
+            top = blocked_top_k(scores, block_k)
+            top_scores = np.take_along_axis(scores, top, axis=1)
+            for row, i in enumerate(indices):
+                request = requests[i]
+                k = request.k if request.k is not None else self.default_k
+                # Rows are views into the (B, block_k) result — nothing
+                # mutates them, and the parent block is tiny, so no copy.
+                items = top[row] if k == block_k else top[row, :k]
+                item_scores = (
+                    top_scores[row] if k == block_k else top_scores[row, :k]
+                )
+                answers[i] = Recommendation(
+                    request.user_id, items, item_scores, snap.version, cached=False
+                )
+                if use_cache and request.exclude is None and k == block_k:
+                    # Sliced rows of a larger-k batch are correct but
+                    # cached only at the k actually computed, so a later
+                    # direct hit can never return fewer items than asked.
+                    self._cache.put(
+                        (snap.version, request.user_id, k), (items, item_scores)
+                    )
+
+    def _exclusion_for(
+        self, request: QueryRequest, user_id: int
+    ) -> Optional[np.ndarray]:
+        seen = self._history.get(user_id) if self._exclude_seen else None
+        if request.exclude is None:
+            return seen
+        explicit = np.asarray(request.exclude, dtype=np.int64)
+        if seen is None or not np.asarray(seen).size:
+            return explicit
+        return np.concatenate([np.asarray(seen, dtype=np.int64), explicit])
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def swap(self, checkpoint_path: str) -> int:
+        """Cut traffic over to a newer checkpoint, with zero downtime.
+
+        The next snapshot is fully built and validated *before* the
+        rebind: an unreadable or incompatible checkpoint raises (the
+        manifest mismatches via
+        :class:`~repro.federated.checkpoint.CheckpointMismatchError`)
+        and the service keeps serving the old model untouched.  The
+        rebind itself is a single attribute assignment — queries that
+        already read the old snapshot finish on it; every query that
+        starts after :meth:`swap` returns sees the new version.
+
+        Returns the new model version.
+        """
+        with self._swap_lock:
+            current = self._snapshot
+            candidate = load_snapshot(checkpoint_path, version=current.version + 1)
+            self._validate_swap(current, candidate)
+            self._snapshot = candidate  # the cutover: atomic rebind
+            with self._stats_lock:
+                self._swaps += 1
+        # Old-version entries are unreachable (version-keyed); reclaim.
+        self._cache.invalidate()
+        return candidate.version
+
+    @staticmethod
+    def _validate_swap(current: ModelSnapshot, candidate: ModelSnapshot) -> None:
+        """The serving contract two checkpoints must share to hot-swap."""
+        problems: List[str] = []
+        for name in ("arch", "num_items", "dtype"):
+            want, got = current.meta.get(name), candidate.meta.get(name)
+            if want != got:
+                problems.append(f"{name}: serving={want!r} vs candidate={got!r}")
+        if not candidate.embeddings:
+            problems.append("candidate carries no user embeddings")
+        if problems:
+            raise CheckpointMismatchError(
+                "checkpoint incompatible with serving snapshot: "
+                + "; ".join(problems)
+            )
+
+    def invalidate_cache(self) -> int:
+        """Explicitly drop every cached answer (returns entries dropped)."""
+        return self._cache.invalidate()

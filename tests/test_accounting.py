@@ -18,7 +18,10 @@ from repro.federated.accounting import (
     compose_basic,
     gaussian_epsilon,
 )
-from repro.federated.checkpoint import load_checkpoint, save_checkpoint
+from repro.federated.checkpoint import (
+    load_checkpoint_impl as load_checkpoint,
+    save_checkpoint_impl as save_checkpoint,
+)
 from repro.federated.privacy import PrivacyConfig
 from repro.federated.trainer import FederatedConfig, FederatedTrainer
 

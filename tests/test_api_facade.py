@@ -1,0 +1,132 @@
+"""Tests for the public API facade (``repro.api``) and deprecation shims.
+
+The facade is the one blessed import surface: every name resolves, the
+six lifecycle verbs round-trip a real artefact, the old deep-import
+paths still work but warn, and the examples import only via the facade.
+"""
+
+import ast
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api as api
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+VERBS = ("fit", "save_checkpoint", "resume", "load_model", "recommend", "serve")
+
+
+class TestSurface:
+    def test_every_exported_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_unknown_name_raises_attribute_error(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            api.definitely_not_a_thing
+
+    def test_verbs_reexported_from_repro(self):
+        for verb in VERBS:
+            assert getattr(repro, verb) is getattr(api, verb)
+            assert verb in repro.__all__
+
+    def test_dir_lists_surface(self):
+        assert set(VERBS) <= set(dir(api))
+        assert "RecommendationService" in dir(api)
+
+
+class TestExamplesUseFacadeOnly:
+    def test_examples_import_only_repro_api(self):
+        """Every ``repro`` import in every example goes through the facade."""
+        offenders = []
+        for path in sorted((REPO_ROOT / "examples").glob("*.py")):
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom):
+                    module = node.module or ""
+                    if module.split(".")[0] == "repro" and module != "repro.api":
+                        offenders.append(f"{path.name}: from {module} import ...")
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name.split(".")[0] == "repro":
+                            offenders.append(f"{path.name}: import {alias.name}")
+        assert not offenders, "\n".join(offenders)
+
+
+class TestDeprecationShims:
+    @pytest.fixture()
+    def trained(self, tiny_dataset, tiny_clients):
+        from repro.core import HeteFedRec, HeteFedRecConfig
+
+        config = HeteFedRecConfig(
+            dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1, lr=0.01,
+            seed=0,
+        )
+        trainer = HeteFedRec(tiny_dataset.num_items, tiny_clients, config)
+        trainer.run_epoch(1)
+        return trainer
+
+    def test_deep_save_and_load_warn(self, trained, tmp_path):
+        from repro.federated.checkpoint import load_checkpoint, save_checkpoint
+
+        path = str(tmp_path / "ckpt.npz")
+        with pytest.warns(DeprecationWarning, match="repro.api.save_checkpoint"):
+            save_checkpoint(trained, path)
+        with pytest.warns(DeprecationWarning, match="repro.api.resume"):
+            load_checkpoint(trained, path)
+
+    def test_deep_inference_load_warns(self, trained, tmp_path):
+        from repro.federated.checkpoint import load_inference_model
+
+        path = str(tmp_path / "ckpt.npz")
+        api.save_checkpoint(trained, path)
+        with pytest.warns(DeprecationWarning, match="repro.api.load_model"):
+            load_inference_model(path, "l")
+
+    def test_facade_verbs_do_not_warn(self, trained, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.save_checkpoint(trained, path)
+            model, meta = api.load_model(path, "l")
+            api.resume(trained, path)
+        assert model.dim == 8 and meta["arch"] == "ncf"
+
+
+class TestVerbRoundTrip:
+    def test_full_lifecycle(self, tiny_dataset, tiny_clients, tmp_path):
+        """fit -> save_checkpoint -> resume -> recommend, via verbs only."""
+        config = api.HeteFedRecConfig(
+            dims={"s": 4, "m": 6, "l": 8}, epochs=1, local_epochs=1, lr=0.01,
+            seed=0,
+        )
+        trainer = api.build_method(
+            "hetefedrec", tiny_dataset.num_items, tiny_clients, config
+        )
+        api.fit(trainer)
+        path = str(tmp_path / "ckpt.npz")
+        api.save_checkpoint(trainer, path)
+
+        other = api.build_method(
+            "hetefedrec", tiny_dataset.num_items, tiny_clients, config
+        )
+        assert api.resume(other, path) is other
+        user = tiny_clients[0].user_id
+        assert np.allclose(
+            trainer.score_all_items(tiny_clients[0]),
+            other.score_all_items(tiny_clients[0]),
+        )
+
+        answer = api.recommend(path, user, k=5)
+        assert len(answer.items) == 5
+        batch = api.recommend(path, [c.user_id for c in tiny_clients[:3]], k=4)
+        assert len(batch) == 3 and all(len(a.items) == 4 for a in batch)
+
+        service = api.serve(path, k=5)  # host=None: in-process service
+        assert isinstance(service, api.RecommendationService)
+        again = api.recommend(service, user, k=5)
+        assert np.array_equal(answer.items, again.items)

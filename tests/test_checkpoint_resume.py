@@ -25,7 +25,10 @@ from repro.core import HeteFedRec, HeteFedRecConfig
 from repro.core.grouping import divide_clients
 from repro.eval.evaluator import Evaluator
 from repro.federated.availability import AvailabilityConfig
-from repro.federated.checkpoint import load_checkpoint, save_checkpoint
+from repro.federated.checkpoint import (
+    load_checkpoint_impl as load_checkpoint,
+    save_checkpoint_impl as save_checkpoint,
+)
 from repro.federated.secure_agg import SecureAggregationConfig
 from repro.federated.server_optim import ServerOptimizerConfig
 from repro.federated.trainer import FederatedConfig, FederatedTrainer

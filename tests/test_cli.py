@@ -45,6 +45,26 @@ class TestParser:
         args = build_parser().parse_args(["experiments"])
         assert args.profile == "bench" and args.out == "results"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "ck.npz"])
+        assert args.checkpoint == "ck.npz"
+        assert args.host == "127.0.0.1" and args.port == 8777
+        assert args.max_batch == 32 and args.cache_size == 4096
+        assert args.func.__name__ == "_cmd_serve"
+
+    def test_serve_requires_checkpoint(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_json_flag_is_uniform(self):
+        """--json parses on every subcommand that emits a result."""
+        for argv in (
+            ["run", "--json"],
+            ["experiments", "--json"],
+            ["simulate", "baseline", "--json"],
+        ):
+            assert build_parser().parse_args(argv).json is True
+
 
 class TestMethodsCommand:
     def test_lists_all_methods(self, capsys):
@@ -88,6 +108,18 @@ class TestRunCommand:
         ])
         assert code == 0
         assert "All Small" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main([
+            "run", "--dataset", "ml", "--scale", "0.01",
+            "--epochs", "1", "--clients-per-round", "16", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "hetefedrec" and payload["k"] == 20
+        assert 0.0 <= payload["recall"] <= 1.0
 
 
 class TestSearchCommand:

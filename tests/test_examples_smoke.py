@@ -45,6 +45,11 @@ def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
             ("--scale", "0.008", "--epochs", "1"),
             "Overall comparison",
         ),
+        (
+            "deployment_lifecycle.py",
+            ("--scale", "0.008", "--epochs", "2"),
+            "hot-swapped",
+        ),
     ],
 )
 def test_example_runs_at_tiny_scale(name, args, expected):

@@ -19,10 +19,10 @@ from repro.core import HeteFedRec, HeteFedRecConfig
 from repro.federated.availability import AvailabilityConfig
 from repro.federated.checkpoint import (
     CheckpointMismatchError,
-    load_checkpoint,
-    load_inference_model,
+    load_checkpoint_impl as load_checkpoint,
+    load_inference_model_impl as load_inference_model,
     read_manifest,
-    save_checkpoint,
+    save_checkpoint_impl as save_checkpoint,
     user_embedding_from_checkpoint,
 )
 

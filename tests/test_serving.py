@@ -1,0 +1,388 @@
+"""Tests for the online serving layer (``repro.serving``).
+
+Pins the production contracts the tentpole claims: blocked scoring
+matches the trainer's reference path, the hot top-k cache is
+version-keyed and invalidated on swap, the coalescer's size and
+deadline triggers both fire, hot-swap is atomic under threaded
+concurrent queries (no dropped or mixed-model responses), an
+incompatible checkpoint is rejected *before* cutover, and the optional
+HTTP front end speaks the documented JSON routes.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.baselines import build_method
+from repro.core import HeteFedRec, HeteFedRecConfig
+from repro.eval.metrics import blocked_top_k
+from repro.federated.checkpoint import (
+    CheckpointMismatchError,
+    UnknownGroupError,
+    checkpoint_groups,
+    load_inference_model_impl,
+    save_checkpoint_impl,
+)
+from repro.serving import (
+    QueryRequest,
+    RecommendationService,
+    RequestCoalescer,
+    TopKCache,
+    UnknownUserError,
+    load_snapshot,
+)
+
+CONFIG = dict(dims={"s": 4, "m": 6, "l": 8}, epochs=2, local_epochs=1, lr=0.01)
+
+
+@pytest.fixture(scope="module")
+def checkpoints(tmp_path_factory):
+    """Two epochs of one run saved as v1/v2, plus reference score rows."""
+    from repro.data.splitting import train_test_split_per_user
+    from repro.data.synthetic import SyntheticConfig, load_benchmark_dataset
+
+    dataset = load_benchmark_dataset(
+        "ml", SyntheticConfig(scale=0.01, item_scale=0.03, seed=7)
+    )
+    clients = train_test_split_per_user(dataset, seed=7)
+    root = tmp_path_factory.mktemp("serving")
+    trainer = HeteFedRec(
+        dataset.num_items, clients, HeteFedRecConfig(seed=0, **CONFIG)
+    )
+    paths, expected = {}, {}
+    trainer.run_epoch(1)
+    paths["v1"] = str(root / "v1.npz")
+    save_checkpoint_impl(trainer, paths["v1"])
+    expected["v1"] = {c.user_id: trainer.score_all_items(c).copy() for c in clients}
+    trainer.run_epoch(2)
+    paths["v2"] = str(root / "v2.npz")
+    save_checkpoint_impl(trainer, paths["v2"])
+    expected["v2"] = {c.user_id: trainer.score_all_items(c).copy() for c in clients}
+
+    mismatched = HeteFedRec(
+        dataset.num_items, clients,
+        HeteFedRecConfig(seed=0, arch="mf", **CONFIG),
+    )
+    mismatched.run_epoch(1)
+    paths["mf"] = str(root / "mf.npz")
+    save_checkpoint_impl(mismatched, paths["mf"])
+
+    single = build_method(
+        "all_small", dataset.num_items, clients, HeteFedRecConfig(seed=0, **CONFIG)
+    )
+    single.run_epoch(1)
+    paths["single"] = str(root / "single.npz")
+    save_checkpoint_impl(single, paths["single"])
+
+    return {"paths": paths, "expected": expected, "clients": clients}
+
+
+def top_ids(scores: np.ndarray, k: int) -> np.ndarray:
+    return blocked_top_k(scores[None, :], k)[0]
+
+
+# ----------------------------------------------------------------------
+# TopKCache
+# ----------------------------------------------------------------------
+class TestTopKCache:
+    def test_lru_eviction(self):
+        cache = TopKCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # refresh recency: "b" is now LRU
+        cache.put(("c",), 3)
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1 and cache.get(("c",)) == 3
+
+    def test_disabled_cache_never_stores(self):
+        cache = TopKCache(max_entries=0)
+        cache.put(("a",), 1)
+        assert cache.get(("a",)) is None and len(cache) == 0
+
+    def test_invalidate_reports_dropped(self):
+        cache = TopKCache()
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0 and cache.stats()["invalidations"] == 1
+
+
+# ----------------------------------------------------------------------
+# RecommendationService
+# ----------------------------------------------------------------------
+class TestService:
+    @pytest.fixture()
+    def service(self, checkpoints):
+        return RecommendationService(checkpoints["paths"]["v1"], k=5)
+
+    def test_query_matches_reference_scoring(self, checkpoints, service):
+        for client in checkpoints["clients"][:8]:
+            answer = service.query(client.user_id)
+            reference = top_ids(checkpoints["expected"]["v1"][client.user_id], 5)
+            assert np.array_equal(answer.items, reference), client.user_id
+            assert np.all(np.diff(answer.scores) <= 1e-12)  # descending
+
+    def test_batch_matches_individual_queries(self, checkpoints):
+        service = RecommendationService(checkpoints["paths"]["v1"], k=5,
+                                        cache_size=0)
+        clients = checkpoints["clients"][:12]
+        batch = service.query_batch(
+            [QueryRequest(c.user_id, 4) for c in clients]
+        )
+        for client, answer in zip(clients, batch):
+            solo = service.query(client.user_id, k=4)
+            assert np.array_equal(answer.items, solo.items)
+            assert answer.user_id == client.user_id
+
+    def test_repeat_query_is_cached(self, service, checkpoints):
+        user = checkpoints["clients"][0].user_id
+        first = service.query(user)
+        second = service.query(user)
+        assert not first.cached and second.cached
+        assert np.array_equal(first.items, second.items)
+        assert service.stats()["cache"]["hits"] >= 1
+
+    def test_unknown_user_raises(self, service):
+        with pytest.raises(UnknownUserError, match="999999"):
+            service.query(999_999)
+        with pytest.raises(KeyError):  # subclass: old-style handling works
+            service.query(999_999)
+
+    def test_exclusion_masks_items(self, service, checkpoints):
+        user = checkpoints["clients"][0].user_id
+        base = service.query(user, k=5)
+        banned = base.items[:3]
+        answer = service.query(user, k=5, exclude=banned)
+        assert not (set(answer.items.tolist()) & set(banned.tolist()))
+        assert not answer.cached  # exclusion requests bypass the cache
+
+    def test_k_clamped_to_catalogue(self, service):
+        snap = service.snapshot
+        answer = service.query(snap.user_ids()[0], k=snap.num_items + 50)
+        assert len(answer.items) == snap.num_items
+
+    def test_snapshot_loads_every_group(self, checkpoints):
+        snap = load_snapshot(checkpoints["paths"]["v1"])
+        assert snap.groups == ["l", "m", "s"]
+        assert len(snap.embeddings) == len(checkpoints["clients"])
+
+
+# ----------------------------------------------------------------------
+# Hot swap
+# ----------------------------------------------------------------------
+class TestHotSwap:
+    def test_swap_bumps_version_and_answers(self, checkpoints):
+        service = RecommendationService(checkpoints["paths"]["v1"], k=5)
+        user = checkpoints["clients"][0].user_id
+        service.query(user)
+        assert service.swap(checkpoints["paths"]["v2"]) == 2
+        answer = service.query(user)
+        assert answer.model_version == 2 and not answer.cached
+        reference = top_ids(checkpoints["expected"]["v2"][user], 5)
+        assert np.array_equal(answer.items, reference)
+
+    def test_swap_invalidates_cache(self, checkpoints):
+        service = RecommendationService(checkpoints["paths"]["v1"], k=5)
+        for client in checkpoints["clients"][:6]:
+            service.query(client.user_id)
+        assert service.stats()["cache"]["entries"] == 6
+        service.swap(checkpoints["paths"]["v2"])
+        assert service.stats()["cache"]["entries"] == 0
+        assert service.stats()["cache"]["invalidations"] == 1
+
+    def test_mismatched_checkpoint_rejected_before_cutover(self, checkpoints):
+        service = RecommendationService(checkpoints["paths"]["v1"], k=5)
+        user = checkpoints["clients"][0].user_id
+        before = service.query(user)
+        with pytest.raises(CheckpointMismatchError, match="arch"):
+            service.swap(checkpoints["paths"]["mf"])
+        assert service.model_version == 1  # old snapshot still serving
+        after = service.query(user)
+        assert np.array_equal(before.items, after.items)
+
+    def test_swap_atomicity_under_threaded_queries(self, checkpoints):
+        """No response may carry one version's tag and the other's items,
+        and no query may fail, while swaps happen mid-traffic."""
+        service = RecommendationService(
+            checkpoints["paths"]["v1"], k=5, cache_size=0
+        )
+        users = [c.user_id for c in checkpoints["clients"][:8]]
+        reference = {
+            version + 1: {
+                u: top_ids(checkpoints["expected"][f"v{version + 1}"][u], 5)
+                for u in users
+            }
+            for version in range(2)
+        }
+        paths = checkpoints["paths"]
+        errors, stale = [], []
+        stop = threading.Event()
+
+        def hammer(user):
+            while not stop.is_set():
+                try:
+                    answer = service.query(user)
+                except Exception as error:  # noqa: BLE001 - recorded, fails test
+                    errors.append(error)
+                    return
+                expected_items = reference[(answer.model_version - 1) % 2 + 1][user]
+                if not np.array_equal(answer.items, expected_items):
+                    stale.append(answer)
+                    return
+
+        threads = [threading.Thread(target=hammer, args=(u,)) for u in users]
+        for thread in threads:
+            thread.start()
+        for swap_to in ("v2", "v1", "v2", "v1"):
+            service.swap(paths[swap_to])
+        # After the final swap() returned, a fresh query must see v1 arith.
+        post = service.query(users[0])
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors, errors[:1]
+        assert not stale, f"mixed-version response: {stale[:1]}"
+        assert np.array_equal(post.items, reference[1][users[0]])
+        assert service.model_version == 5  # four swaps on top of v1
+
+
+# ----------------------------------------------------------------------
+# RequestCoalescer
+# ----------------------------------------------------------------------
+class TestCoalescer:
+    @pytest.fixture()
+    def service(self, checkpoints):
+        return RecommendationService(checkpoints["paths"]["v1"], k=5,
+                                     cache_size=0)
+
+    def test_size_trigger_flushes_full_batch(self, service, checkpoints):
+        users = [c.user_id for c in checkpoints["clients"][:4]]
+        results = {}
+        with RequestCoalescer(service, max_batch=4, max_wait_ms=10_000) as co:
+            threads = [
+                threading.Thread(
+                    target=lambda u=u: results.update({u: co.submit(u, timeout=30)})
+                )
+                for u in users
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            stats = co.stats()
+        assert set(results) == set(users)
+        assert stats["size_flushes"] >= 1
+        for user, answer in results.items():
+            assert np.array_equal(answer.items, service.query(user).items)
+
+    def test_deadline_trigger_flushes_lone_query(self, service, checkpoints):
+        user = checkpoints["clients"][0].user_id
+        with RequestCoalescer(service, max_batch=64, max_wait_ms=20.0) as co:
+            answer = co.submit(user, timeout=30)
+            stats = co.stats()
+        assert answer.user_id == user
+        assert stats["deadline_flushes"] == 1 and stats["size_flushes"] == 0
+
+    def test_errors_propagate_to_submitter(self, service):
+        with RequestCoalescer(service, max_batch=64, max_wait_ms=5.0) as co:
+            with pytest.raises(UnknownUserError):
+                co.submit(999_999, timeout=30)
+
+    def test_submit_after_close_raises(self, service, checkpoints):
+        co = RequestCoalescer(service)
+        co.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            co.submit(checkpoints["clients"][0].user_id)
+
+
+# ----------------------------------------------------------------------
+# load_inference_model ergonomics (group optional, helpful errors)
+# ----------------------------------------------------------------------
+class TestGroupOptional:
+    def test_single_group_checkpoint_needs_no_group(self, checkpoints):
+        path = checkpoints["paths"]["single"]
+        assert checkpoint_groups(path) == ["all"]
+        model, meta = load_inference_model_impl(path)
+        assert model.dim == meta["dims"]["all"]
+
+    def test_ambiguous_checkpoint_lists_groups(self, checkpoints):
+        with pytest.raises(UnknownGroupError, match=r"\['l', 'm', 's'\]"):
+            load_inference_model_impl(checkpoints["paths"]["v1"])
+
+    def test_unknown_group_lists_valid_groups(self, checkpoints):
+        with pytest.raises(UnknownGroupError, match="valid groups"):
+            load_inference_model_impl(checkpoints["paths"]["v1"], "xl")
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+class TestHTTP:
+    @pytest.fixture()
+    def server(self, checkpoints):
+        from repro.serving.http_api import ServingHTTPServer
+
+        service = RecommendationService(checkpoints["paths"]["v1"], k=5)
+        server = ServingHTTPServer(service, ("127.0.0.1", 0))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def get(self, server, path):
+        port = server.server_address[1]
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+            return json.loads(response.read())
+
+    def post(self, server, path, payload):
+        port = server.server_address[1]
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(payload).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def test_healthz(self, server):
+        body = self.get(server, "/healthz")
+        assert body["status"] == "ok" and body["model_version"] == 1
+
+    def test_recommend_roundtrip(self, server, checkpoints):
+        user = checkpoints["clients"][0].user_id
+        body = self.get(server, f"/v1/recommend?user={user}&k=3")
+        assert len(body["items"]) == 3 and body["user"] == user
+        reference = top_ids(checkpoints["expected"]["v1"][user], 3)
+        assert body["items"] == reference.tolist()
+
+    def test_unknown_user_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.get(server, "/v1/recommend?user=999999")
+        assert excinfo.value.code == 404
+
+    def test_missing_user_param_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.get(server, "/v1/recommend?k=3")
+        assert excinfo.value.code == 400
+
+    def test_stats_includes_coalescer(self, server):
+        body = self.get(server, "/v1/stats")
+        assert "coalescer" in body and body["model_version"] == 1
+
+    def test_swap_and_mismatch(self, server, checkpoints):
+        body = self.post(
+            server, "/v1/swap", {"checkpoint": checkpoints["paths"]["v2"]}
+        )
+        assert body == {"status": "swapped", "model_version": 2}
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(
+                server, "/v1/swap", {"checkpoint": checkpoints["paths"]["mf"]}
+            )
+        assert excinfo.value.code == 409
+        assert self.get(server, "/healthz")["model_version"] == 2
