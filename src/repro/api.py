@@ -104,6 +104,18 @@ _EXPORTS = {
     "load_snapshot": "repro.serving",
     "TopKCache": "repro.serving",
     "UnknownUserError": "repro.serving",
+    # serving resilience + chaos
+    "ResilientService": "repro.serving",
+    "ResilienceConfig": "repro.serving",
+    "AdmissionQueue": "repro.serving",
+    "CircuitBreaker": "repro.serving",
+    "HealthMonitor": "repro.serving",
+    "ShedError": "repro.serving",
+    "DeadlineExceededError": "repro.serving",
+    "CircuitOpenError": "repro.serving",
+    "ManualClock": "repro.serving.chaos",
+    "ServingChaosConfig": "repro.serving.chaos",
+    "run_chaos_scenario": "repro.serving.chaos",
 }
 
 __all__ = sorted(
@@ -221,17 +233,33 @@ def serve(
     history=None,
     exclude_seen: bool = False,
     verbose: bool = True,
+    resilience: Union[bool, "object", None] = None,
+    watch: Optional[str] = None,
+    watch_interval_s: float = 2.0,
+    request_timeout_s: Optional[float] = 30.0,
 ):
     """Stand up the online serving layer over ``checkpoint``.
 
     With ``host=None`` (the default) returns a ready
     :class:`RecommendationService` for in-process use — query it, swap
-    checkpoints into it, wrap it in a :class:`RequestCoalescer`.  With a
-    ``host`` it *blocks*, running the stdlib JSON front end on
+    checkpoints into it, wrap it in a :class:`RequestCoalescer`.  Pass
+    ``resilience=True`` (or a :class:`ResilienceConfig`) to get a
+    :class:`ResilientService` instead: admission control, deadline
+    budgets, the degradation ladder, and circuit-broken hot-swap.
+
+    With a ``host`` it *blocks*, running the stdlib JSON front end on
     ``host:port`` (the ``repro serve`` CLI entry) with concurrent HTTP
-    requests coalesced into blocked matmuls.
+    requests coalesced into blocked matmuls.  The HTTP path always
+    carries the resilience layer (shed → 503 + Retry-After, deadline
+    overrun → 504, ``/healthz`` surfaces the health state machine) and
+    drains gracefully on SIGTERM/SIGINT.  ``watch`` polls a checkpoint
+    path and hot-swaps when a new valid one lands.
     """
-    from repro.serving import RecommendationService
+    from repro.serving import (
+        RecommendationService,
+        ResilienceConfig,
+        ResilientService,
+    )
 
     service = RecommendationService(
         checkpoint,
@@ -240,11 +268,33 @@ def serve(
         history=history,
         exclude_seen=exclude_seen,
     )
+    resilience_config = (
+        resilience if isinstance(resilience, ResilienceConfig) else None
+    )
     if host is None:
+        if resilience:
+            resilient = ResilientService(service, resilience_config)
+            if watch:
+                resilient.watch(watch, interval_s=watch_interval_s)
+            return resilient
         return service
+
     from repro.serving.coalescer import RequestCoalescer
     from repro.serving.http_api import run_server
 
-    coalescer = RequestCoalescer(service, max_batch=max_batch, max_wait_ms=max_wait_ms)
-    run_server(service, host=host, port=port, coalescer=coalescer, verbose=verbose)
+    resilient = ResilientService(service, resilience_config)
+    if watch:
+        resilient.watch(watch, interval_s=watch_interval_s)
+    coalescer = RequestCoalescer(
+        resilient, max_batch=max_batch, max_wait_ms=max_wait_ms
+    )
+    run_server(
+        service,
+        host=host,
+        port=port,
+        coalescer=coalescer,
+        verbose=verbose,
+        resilience=resilient,
+        request_timeout_s=request_timeout_s,
+    )
     return service

@@ -164,7 +164,12 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.api import serve
+    from repro.serving import ResilienceConfig
 
+    resilience = ResilienceConfig(
+        admission_capacity=args.admission_capacity,
+        default_deadline_ms=args.deadline_ms,
+    )
     serve(
         args.checkpoint,
         host=args.host,
@@ -173,6 +178,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        resilience=resilience,
+        watch=args.watch,
+        watch_interval_s=args.watch_interval,
+        request_timeout_s=args.request_timeout,
     )
     return 0
 
@@ -223,6 +232,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     from repro.sim import SimulationConfig
     from repro.sim.scenarios import run_scenario
+
+    if args.scenario == "serving_chaos":
+        # The serving fault storm drives the online stack, not the
+        # surrogate fleet, so it takes its own config shape.
+        from repro.sim.scenarios import serving_chaos
+
+        config = serving_chaos.build(seed=args.seed, requests=args.requests)
+        result = serving_chaos.run(config, workdir=args.store_dir)
+        if args.json:
+            print(json.dumps(result.fingerprint(), indent=2, sort_keys=True))
+        else:
+            for line in result.summary_lines():
+                print(line)
+        return 0
 
     base = SimulationConfig(
         num_clients=args.clients,
@@ -331,7 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument(
         "scenario",
         help="catalogue name: baseline, dropout_storm, straggler_flood, "
-        "duplicate_uploads, flapping, poisoning, secure_dropout",
+        "duplicate_uploads, flapping, poisoning, secure_dropout, "
+        "serving_chaos",
+    )
+    sim_parser.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="serving_chaos only: how many requests to drive "
+        "(scales the fault window and recovery tail with it)",
     )
     sim_parser.add_argument("--clients", type=int, default=1000)
     sim_parser.add_argument("--items", type=int, default=500)
@@ -373,6 +402,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-wait-ms", type=float, default=5.0, metavar="MS",
         help="coalescer deadline trigger: a query never waits for company "
         "longer than MS milliseconds (default: 5)",
+    )
+    serve_parser.add_argument(
+        "--admission-capacity", type=int, default=256, metavar="N",
+        help="max concurrently executing requests before arrivals queue "
+        "and then shed with 503 + Retry-After (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="default per-request deadline budget; un-meetable requests "
+        "shed immediately, overruns return 504 (default: none)",
+    )
+    serve_parser.add_argument(
+        "--watch", default=None, metavar="PATH",
+        help="poll PATH and hot-swap whenever a new valid checkpoint "
+        "lands there (corrupt candidates are quarantined as *.corrupt)",
+    )
+    serve_parser.add_argument(
+        "--watch-interval", type=float, default=2.0, metavar="S",
+        help="seconds between checkpoint-watcher polls (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="S",
+        help="per-connection socket timeout so a stalled client cannot "
+        "pin a handler thread (default: 30)",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 

@@ -10,6 +10,16 @@ and is imported only on demand (``python -m repro serve``).
 
 from repro.serving.cache import TopKCache
 from repro.serving.coalescer import RequestCoalescer
+from repro.serving.resilience import (
+    AdmissionQueue,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    HealthMonitor,
+    ResilienceConfig,
+    ResilientService,
+    ShedError,
+)
 from repro.serving.service import (
     ModelSnapshot,
     QueryRequest,
@@ -28,4 +38,12 @@ __all__ = [
     "RequestCoalescer",
     "TopKCache",
     "UnknownUserError",
+    "ResilientService",
+    "ResilienceConfig",
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "HealthMonitor",
+    "ShedError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
 ]

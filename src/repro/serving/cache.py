@@ -37,6 +37,8 @@ class TopKCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
+        self.stale_hits = 0
 
     def get(self, key: Tuple[Hashable, ...]) -> Optional[object]:
         """The cached value for ``key`` (refreshing its recency), or None."""
@@ -71,6 +73,59 @@ class TopKCache:
             self.invalidations += 1
             return dropped
 
+    def evict_version(self, model_version: int) -> int:
+        """Eagerly drop every entry keyed to one dead model version.
+
+        Returns how many entries were evicted.  Keys are
+        ``(model_version, user_id, k)`` tuples; anything not shaped like
+        that is left alone.
+        """
+        return self._evict_if(lambda v: v == int(model_version))
+
+    def evict_older_than(self, min_version: int) -> int:
+        """Drop every entry whose model version is below ``min_version``.
+
+        This is the hot-swap reclaim when a stale window is retained:
+        versions in ``[min_version, current]`` survive so the
+        degradation ladder can still answer from them.
+        """
+        return self._evict_if(lambda v: v < int(min_version))
+
+    def _evict_if(self, dead) -> int:
+        with self._lock:
+            victims = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and dead(key[0])
+            ]
+            for key in victims:
+                del self._entries[key]
+            self.evictions += len(victims)
+            return len(victims)
+
+    def get_stale(
+        self, user_id: int, k: int, current_version: int, max_back: int = 1
+    ) -> Optional[Tuple[int, object]]:
+        """A recent *previous-generation* answer for ``(user_id, k)``.
+
+        Probes versions ``current_version - 1`` down to
+        ``current_version - max_back`` directly (keys are exact, so this
+        is O(max_back), not a scan) and returns ``(version, value)`` for
+        the freshest hit, or None.  Counted separately from regular hits
+        so ``stats()`` shows how often the service answered stale.
+        """
+        with self._lock:
+            for back in range(1, int(max_back) + 1):
+                version = int(current_version) - back
+                if version < 1:
+                    break
+                value = self._entries.get((version, user_id, k))
+                if value is not None:
+                    self._entries.move_to_end((version, user_id, k))
+                    self.stale_hits += 1
+                    return version, value
+            return None
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -83,4 +138,6 @@ class TopKCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "stale_hits": self.stale_hits,
             }

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -62,6 +62,11 @@ class RequestCoalescer:
     max_wait_ms:
         Deadline trigger: the longest a query waits for company before
         its batch is flushed anyway.
+    clock:
+        Monotonic time source for the deadline trigger (default
+        :func:`time.monotonic`).  Injectable so deadline behaviour is
+        unit-testable — and chaos-drivable — without real sleeps; pair a
+        manual clock with :meth:`poll` instead of the flusher thread.
     """
 
     def __init__(
@@ -69,12 +74,14 @@ class RequestCoalescer:
         service: RecommendationService,
         max_batch: int = 32,
         max_wait_ms: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.service = service
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait_ms) / 1000.0
+        self.clock = clock
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._pending = _Batch()
@@ -121,7 +128,7 @@ class RequestCoalescer:
                 # the flusher.  Later queries change nothing it watches,
                 # so they skip the notify (waking it per-submit costs a
                 # GIL round-trip each under concurrent load).
-                self._deadline = time.monotonic() + self.max_wait
+                self._deadline = self.clock() + self.max_wait
                 self._wakeup.notify_all()
         if to_flush is not None:
             # Size trigger: the thread that completed the batch scores it
@@ -142,6 +149,23 @@ class RequestCoalescer:
             batch = self._take_pending()
             if batch.requests:
                 self._forced_flushes += 1
+        self._flush(batch)
+        return len(batch.requests)
+
+    def poll(self) -> int:
+        """Flush the pending batch iff its deadline (per ``clock``) passed.
+
+        Returns how many queries were flushed.  This is the deadline
+        trigger as a pull: with an injected manual clock the flusher
+        thread never fires (it waits on real time), so deterministic
+        drivers advance the clock and call ``poll()`` themselves.
+        """
+        with self._wakeup:
+            if self._deadline is None or self.clock() < self._deadline:
+                return 0
+            batch = self._take_pending()
+            if batch.requests:
+                self._deadline_flushes += 1
         self._flush(batch)
         return len(batch.requests)
 
@@ -199,7 +223,7 @@ class RequestCoalescer:
                     self._wakeup.wait()
                 if self._closed:
                     return
-                remaining = self._deadline - time.monotonic()
+                remaining = self._deadline - self.clock()
                 if remaining > 0:
                     self._wakeup.wait(remaining)
                     continue

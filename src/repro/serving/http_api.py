@@ -9,20 +9,35 @@ no third-party dependency, started via ``python -m repro serve``.
 Routes
 ------
 ``GET /healthz``
-    Liveness + the serving model version.
-``GET /v1/recommend?user=ID[&k=K]``
+    Liveness + the serving model version.  With a resilience layer
+    attached the body also carries the health state machine's verdict
+    (``ok`` / ``degraded`` / ``unhealthy`` / ``draining``), the breaker
+    state and the active degradation-tier floor.
+``GET /v1/recommend?user=ID[&k=K][&deadline_ms=MS][&priority=P]``
     Top-k answer for one user, through the request coalescer (so
-    concurrent HTTP requests batch into one blocked matmul).
+    concurrent HTTP requests batch into one blocked matmul).  With a
+    resilience layer: admission-controlled — a shed request gets 503 +
+    ``Retry-After``, a deadline overrun gets 504 with the wasted work
+    metered.
 ``GET /v1/stats``
-    Service / cache / coalescer counters.
+    Service / cache / coalescer (/ resilience) counters.
 ``POST /v1/swap`` with body ``{"checkpoint": PATH}``
     Zero-downtime hot-swap to a newer checkpoint; 409 on a manifest
-    mismatch (the old model keeps serving).
+    mismatch (the old model keeps serving), 503 when the swap circuit
+    breaker is open.
+
+Shutdown
+--------
+SIGTERM / SIGINT trigger a graceful drain: stop admitting (503s), flush
+the coalescer, answer everything already in flight, then exit 0.  Each
+connection also carries a socket timeout so a stalled client cannot pin
+a handler thread forever.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
@@ -30,6 +45,12 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.federated.checkpoint import CheckpointMismatchError
 from repro.serving.coalescer import RequestCoalescer
+from repro.serving.resilience import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ResilientService,
+    ShedError,
+)
 from repro.serving.service import RecommendationService, UnknownUserError
 
 
@@ -42,20 +63,33 @@ class ServingHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
+    def setup(self) -> None:
+        # A stalled client must not pin this handler thread forever:
+        # the per-connection socket timeout turns a dead peer into a
+        # closed connection instead of a leaked thread.
+        self.timeout = self.server.request_timeout_s
+        super().setup()
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
+    def _error(
+        self, status: int, message: str, headers: Optional[dict] = None
+    ) -> None:
+        self._reply(status, {"error": message}, headers=headers)
 
     # ------------------------------------------------------------------
     # Routes
@@ -63,6 +97,19 @@ class ServingHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
         if url.path == "/healthz":
+            self._healthz()
+        elif url.path == "/v1/recommend":
+            self._recommend(parse_qs(url.query))
+        elif url.path == "/v1/stats":
+            stats = dict(self.server.front.stats())
+            stats["coalescer"] = self.server.coalescer.stats()
+            self._reply(200, stats)
+        else:
+            self._error(404, f"no route {url.path!r}")
+
+    def _healthz(self) -> None:
+        resilience = self.server.resilience
+        if resilience is None:
             service = self.server.service
             self._reply(
                 200,
@@ -72,28 +119,94 @@ class ServingHandler(BaseHTTPRequestHandler):
                     "checkpoint": service.checkpoint_path,
                 },
             )
-        elif url.path == "/v1/recommend":
-            self._recommend(parse_qs(url.query))
-        elif url.path == "/v1/stats":
-            stats = dict(self.server.service.stats())
-            stats["coalescer"] = self.server.coalescer.stats()
-            self._reply(200, stats)
-        else:
-            self._error(404, f"no route {url.path!r}")
+            return
+        body = resilience.healthz()
+        if body["status"] == "healthy":
+            body["status"] = "ok"  # the liveness contract callers probe
+        status = 200 if body["status"] == "ok" else 503
+        self._reply(status, body)
 
     def _recommend(self, query: dict) -> None:
         try:
             user_id = int(query["user"][0])
             k = int(query["k"][0]) if "k" in query else None
+            deadline_ms = (
+                float(query["deadline_ms"][0]) if "deadline_ms" in query else None
+            )
+            priority = int(query["priority"][0]) if "priority" in query else 0
         except (KeyError, ValueError):
-            self._error(400, "expected ?user=<int>[&k=<int>]")
+            self._error(
+                400,
+                "expected ?user=<int>[&k=<int>][&deadline_ms=<float>]"
+                "[&priority=<int>]",
+            )
             return
+        resilience = self.server.resilience
+        if resilience is None:
+            try:
+                answer = self.server.coalescer.submit(user_id, k=k)
+            except UnknownUserError as error:
+                self._error(404, str(error))
+                return
+            self._reply(200, answer.to_json())
+            return
+        # Admission first: shed before any scoring work is spent.
         try:
-            answer = self.server.coalescer.submit(user_id, k=k)
-        except UnknownUserError as error:
-            self._error(404, str(error))
+            ticket = resilience.try_admit(deadline_ms, priority=priority)
+        except ShedError as error:
+            self._error(
+                503, str(error),
+                headers={"Retry-After": f"{max(1, round(error.retry_after))}"},
+            )
             return
-        self._reply(200, answer.to_json())
+        start = resilience.clock()
+        try:
+            if ticket.state != "executing":
+                budget = (
+                    None if ticket.deadline is None
+                    else max(0.0, ticket.deadline - start)
+                )
+                if not resilience.admission.wait(ticket, budget):
+                    resilience.note_overrun(0.0)
+                    self._error(
+                        504,
+                        f"user {user_id}: deadline spent waiting for admission",
+                    )
+                    return
+            timeout = (
+                None if ticket.deadline is None
+                else max(0.0, ticket.deadline - resilience.clock())
+            )
+            try:
+                answer = self.server.coalescer.submit(user_id, k=k, timeout=timeout)
+            except UnknownUserError as error:
+                self._error(404, str(error))
+                return
+            except (TimeoutError, DeadlineExceededError) as error:
+                wasted = (resilience.clock() - start) * 1000.0
+                resilience.note_overrun(wasted)
+                self._error(504, str(error))
+                return
+            except ShedError as error:
+                self._error(
+                    503, str(error),
+                    headers={"Retry-After": f"{max(1, round(error.retry_after))}"},
+                )
+                return
+            if ticket.deadline is not None and resilience.clock() > ticket.deadline:
+                wasted = (resilience.clock() - start) * 1000.0
+                resilience.note_overrun(wasted)
+                self._error(
+                    504,
+                    f"user {user_id}: answered past the "
+                    f"{deadline_ms:.0f}ms deadline ({wasted:.1f}ms spent)",
+                )
+                return
+            self._reply(200, answer.to_json())
+        finally:
+            resilience.admission.release(
+                ticket, service_seconds=resilience.clock() - start
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
@@ -108,20 +221,33 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._error(400, 'expected JSON body {"checkpoint": PATH}')
             return
         try:
-            version = self.server.service.swap(checkpoint)
+            version = self.server.front.swap(checkpoint)
+        except CircuitOpenError as error:
+            self._error(
+                503, str(error),
+                headers={"Retry-After": f"{max(1, round(error.retry_after))}"},
+            )
+            return
         except CheckpointMismatchError as error:
             self._error(409, str(error))
             return
-        except (FileNotFoundError, OSError) as error:
+        except (FileNotFoundError, OSError, ValueError, KeyError, EOFError) as error:
             self._error(400, f"checkpoint unreadable: {error}")
             return
         self._reply(200, {"status": "swapped", "model_version": version})
 
 
 class ServingHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server wired to one service + coalescer."""
+    """A threading HTTP server wired to one service + coalescer.
+
+    ``block_on_close`` keeps the stdlib contract explicit: after
+    ``shutdown()`` stops the accept loop, ``server_close()`` joins every
+    in-flight handler thread — the graceful drain's "answer what you
+    already admitted" step.
+    """
 
     daemon_threads = True
+    block_on_close = True
 
     def __init__(
         self,
@@ -129,15 +255,66 @@ class ServingHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int] = ("127.0.0.1", 8777),
         coalescer: Optional[RequestCoalescer] = None,
         verbose: bool = False,
+        resilience: Optional[ResilientService] = None,
+        request_timeout_s: Optional[float] = 30.0,
     ) -> None:
         super().__init__(address, ServingHandler)
         self.service = service
-        self.coalescer = coalescer or RequestCoalescer(service)
+        self.resilience = resilience
+        # Queries and swaps go through the outermost layer available.
+        self.front = resilience if resilience is not None else service
+        self.coalescer = coalescer or RequestCoalescer(self.front)
         self.verbose = verbose
+        self.request_timeout_s = request_timeout_s
 
     def shutdown(self) -> None:  # noqa: D102 - inherited semantics
         super().shutdown()
         self.coalescer.close()
+
+
+class GracefulShutdown:
+    """SIGTERM/SIGINT → drain → stop accepting → answer in-flight.
+
+    ``request()`` is the signal handler's body, factored out so tests
+    can trigger a drain without delivering a real signal.  Handler
+    installation is attempted only from the main thread (the stdlib
+    raises :class:`ValueError` elsewhere) and is therefore safe to call
+    from embedded/test contexts.
+    """
+
+    def __init__(
+        self,
+        server: ServingHTTPServer,
+        resilience: Optional[ResilientService] = None,
+    ) -> None:
+        self.server = server
+        self.resilience = resilience
+        self.requested = threading.Event()
+
+    def install(self) -> bool:
+        """Install SIGTERM/SIGINT handlers; False when not possible."""
+        try:
+            signal.signal(signal.SIGTERM, self._on_signal)
+            signal.signal(signal.SIGINT, self._on_signal)
+            return True
+        except ValueError:  # not the main thread
+            return False
+
+    def _on_signal(self, signum, frame) -> None:  # noqa: ANN001
+        self.request()
+
+    def request(self) -> None:
+        """Begin the drain (idempotent): shed new work, finish the rest."""
+        if self.requested.is_set():
+            return
+        self.requested.set()
+        if self.resilience is not None:
+            self.resilience.drain()
+        # serve_forever() must be stopped from another thread — calling
+        # shutdown() from the serving thread deadlocks by design.
+        threading.Thread(
+            target=self.server.shutdown, name="repro-serving-drain", daemon=True
+        ).start()
 
 
 def run_server(
@@ -147,24 +324,43 @@ def run_server(
     coalescer: Optional[RequestCoalescer] = None,
     verbose: bool = True,
     ready: Optional[threading.Event] = None,
+    resilience: Optional[ResilientService] = None,
+    request_timeout_s: Optional[float] = 30.0,
 ) -> None:
-    """Serve until interrupted (the blocking entry ``repro serve`` uses)."""
+    """Serve until interrupted (the blocking entry ``repro serve`` uses).
+
+    Returns normally — exit code 0 — after a SIGTERM/SIGINT graceful
+    drain: admission stops (new requests shed with 503), the coalescer
+    flushes, and every in-flight request is answered before the sockets
+    close.
+    """
     server = ServingHTTPServer(
-        service, (host, port), coalescer=coalescer, verbose=verbose
+        service,
+        (host, port),
+        coalescer=coalescer,
+        verbose=verbose,
+        resilience=resilience,
+        request_timeout_s=request_timeout_s,
     )
+    shutdown = GracefulShutdown(server, resilience=resilience)
+    installed = shutdown.install()
     if verbose:
         bound = server.server_address
         print(
             f"serving checkpoint {service.checkpoint_path} "
             f"(model version {service.model_version}, "
             f"{service.stats()['users']} users) on http://{bound[0]}:{bound[1]}"
+            + (" [graceful drain armed]" if installed else "")
         )
     if ready is not None:
         ready.set()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        shutdown.request()
     finally:
-        server.shutdown()
-        server.server_close()
+        if not shutdown.requested.is_set():
+            server.shutdown()
+        server.server_close()  # joins in-flight handler threads
+    if verbose and shutdown.requested.is_set():
+        print("drained: in-flight requests answered, exiting 0")

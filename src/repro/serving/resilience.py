@@ -1,0 +1,1046 @@
+"""Resilience for the online path: behave well at the edge, provably.
+
+PR 8's serving stack assumes a healthy process — queries never time
+out, a bad checkpoint can be retried forever, and overload queues
+unboundedly.  This module is the layer that removes those assumptions,
+mirroring how the sim package (PR 6) removed them from training:
+
+* **Admission control & load shedding** — :class:`AdmissionQueue`
+  bounds how many requests may be in flight (plus a bounded wait room);
+  a request that cannot meet its deadline budget is *shed immediately*
+  (:class:`ShedError`, mapped to HTTP 503 + ``Retry-After``) instead of
+  queued, and a request that overruns its deadline mid-flight raises
+  :class:`DeadlineExceededError` (HTTP 504) with the wasted partial
+  work metered.
+* **A degradation ladder** — full blocked scoring → fresh
+  version-matched cache hit → stale-cache-allowed answer (previous
+  snapshot generation) → popularity-prior fallback (precomputed per
+  snapshot at load time) → shed.  The entry tier is driven by the
+  :class:`HealthMonitor` state machine (healthy / degraded /
+  unhealthy), surfaced in ``/healthz`` and ``stats()``.
+* **Circuit-broken, self-healing hot-swap** —
+  :meth:`ResilientService.swap` wraps the service's validated swap in
+  retry-with-bounded-backoff plus a :class:`CircuitBreaker`;
+  corrupt/mismatched checkpoints are quarantined as ``*.corrupt``
+  (the grid runner's convention) and the last-good snapshot keeps
+  serving; a failed post-swap probe rolls back automatically.  An
+  optional watcher polls a path and swaps when a new valid checkpoint
+  appears.
+
+Every time source is an injectable monotonic clock (default
+:func:`time.monotonic`), so all deadline/shed/breaker logic is
+unit-testable without sleeps — and drivable by the deterministic chaos
+harness (:mod:`repro.serving.chaos`) on a simulated clock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import zipfile
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.federated.checkpoint import CheckpointMismatchError
+from repro.serving.service import (
+    QueryRequest,
+    Recommendation,
+    RecommendationService,
+    UnknownUserError,
+)
+
+Clock = Callable[[], float]
+
+#: Health states, in degradation order.
+HEALTHY, DEGRADED, UNHEALTHY = "healthy", "degraded", "unhealthy"
+
+#: Degradation-ladder tiers, in the order they are tried.
+TIERS = ("full", "cached", "stale", "fallback", "shed")
+
+
+class ShedError(RuntimeError):
+    """Request refused at admission (HTTP 503). ``retry_after`` advises
+    (in seconds) when the caller should try again."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceededError(TimeoutError):
+    """Deadline overrun mid-flight (HTTP 504). ``wasted_ms`` is the
+    scoring work spent on the answer nobody will read."""
+
+    def __init__(self, message: str, wasted_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.wasted_ms = float(wasted_ms)
+
+
+class CircuitOpenError(RuntimeError):
+    """Swap refused because the circuit breaker is open (HTTP 503)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class AdmissionTicket:
+    """One admitted (or waiting) request's place in the queue."""
+
+    __slots__ = ("priority", "seq", "deadline", "admitted_at", "state", "ready")
+
+    def __init__(self, priority: int, seq: int, deadline: Optional[float],
+                 admitted_at: float) -> None:
+        self.priority = int(priority)
+        self.seq = int(seq)
+        self.deadline = deadline
+        self.admitted_at = admitted_at
+        self.state = "waiting"  # waiting -> executing -> done/cancelled
+        self.ready = threading.Event()
+
+
+class AdmissionQueue:
+    """Bounded admission in front of the scoring path.
+
+    ``capacity`` bounds concurrently *executing* requests; ``max_waiting``
+    bounds the wait room behind them (0 = admit-or-shed, no waiting).
+    A request is shed immediately — never queued — when the wait room is
+    full (*capacity shed*) or when its deadline budget cannot cover the
+    estimated wait (*deadline shed*, estimate = backlog × EMA service
+    time / capacity).  Waiters are promoted strictly by
+    ``(priority, admission order)``: lower priority value first, FIFO
+    within a class.  All timing goes through the injected monotonic
+    ``clock``, so every decision is unit-testable without sleeps.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        max_waiting: int = 0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_waiting < 0:
+            raise ValueError(f"max_waiting must be >= 0, got {max_waiting}")
+        self.capacity = int(capacity)
+        self.max_waiting = int(max_waiting)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._executing = 0
+        self._waiting: Dict[int, deque] = {}
+        self._draining = False
+        self._ema_service = 0.010  # seconds; seeds the wait estimate
+        self.admitted = 0
+        self.completed = 0
+        self.shed_capacity = 0
+        self.shed_deadline = 0
+        self.shed_draining = 0
+        self.cancelled = 0
+        self.max_depth = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def executing(self) -> int:
+        return self._executing
+
+    @property
+    def waiting(self) -> int:
+        return sum(len(q) for q in self._waiting.values())
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._executing + sum(len(q) for q in self._waiting.values())
+
+    def estimated_wait(self) -> float:
+        """Seconds a new arrival should expect to wait before executing."""
+        with self._lock:
+            return self._estimate_locked()
+
+    def _estimate_locked(self) -> float:
+        backlog = self._executing + sum(len(q) for q in self._waiting.values())
+        waves = max(0.0, (backlog - self.capacity + 1)) / self.capacity
+        return waves * self._ema_service
+
+    # -- admission -----------------------------------------------------
+    def try_admit(
+        self, budget: Optional[float] = None, priority: int = 0
+    ) -> AdmissionTicket:
+        """Admit (or park) one request; raises :class:`ShedError` otherwise.
+
+        Returns a ticket in state ``"executing"`` (run it now) or
+        ``"waiting"`` (run when :meth:`release` promotes it — blocking
+        callers use :meth:`wait`).  ``budget`` is the request's remaining
+        deadline budget in seconds.
+        """
+        with self._lock:
+            now = self.clock()
+            if self._draining:
+                self.shed_draining += 1
+                raise ShedError("service is draining", retry_after=1.0)
+            estimate = self._estimate_locked()
+            if budget is not None and estimate > budget:
+                self.shed_deadline += 1
+                raise ShedError(
+                    f"estimated wait {estimate * 1000:.0f}ms exceeds the "
+                    f"{budget * 1000:.0f}ms deadline budget",
+                    retry_after=max(estimate, self._ema_service),
+                )
+            deadline = None if budget is None else now + budget
+            ticket = AdmissionTicket(priority, self._seq, deadline, now)
+            self._seq += 1
+            if self._executing < self.capacity:
+                self._executing += 1
+                ticket.state = "executing"
+                ticket.ready.set()
+            elif sum(len(q) for q in self._waiting.values()) < self.max_waiting:
+                self._waiting.setdefault(ticket.priority, deque()).append(ticket)
+            else:
+                self.shed_capacity += 1
+                raise ShedError(
+                    f"admission queue full ({self.capacity} executing, "
+                    f"{self.max_waiting} waiting)",
+                    retry_after=max(estimate, self._ema_service),
+                )
+            self.admitted += 1
+            depth = self._executing + sum(len(q) for q in self._waiting.values())
+            self.max_depth = max(self.max_depth, depth)
+            return ticket
+
+    def wait(self, ticket: AdmissionTicket, timeout: Optional[float] = None) -> bool:
+        """Block until ``ticket`` may execute; False = timed out (cancelled)."""
+        if ticket.ready.wait(timeout):
+            return True
+        self.cancel(ticket)
+        return ticket.state == "executing"
+
+    def cancel(self, ticket: AdmissionTicket) -> None:
+        """Withdraw a still-waiting ticket (deadline gave out in the queue)."""
+        with self._lock:
+            if ticket.state != "waiting":
+                return
+            queue = self._waiting.get(ticket.priority)
+            if queue is not None:
+                try:
+                    queue.remove(ticket)
+                except ValueError:
+                    pass
+                if not queue:
+                    del self._waiting[ticket.priority]
+            ticket.state = "cancelled"
+            self.cancelled += 1
+            self.shed_deadline += 1
+
+    def release(self, ticket: AdmissionTicket, service_seconds: Optional[float] = None) -> None:
+        """Finish one executing ticket and promote the next waiter."""
+        with self._lock:
+            if ticket.state == "waiting":
+                # Released without ever executing (caller gave up).
+                ticket.state = "cancelled"
+                queue = self._waiting.get(ticket.priority)
+                if queue is not None and ticket in queue:
+                    queue.remove(ticket)
+                    if not queue:
+                        del self._waiting[ticket.priority]
+                self.cancelled += 1
+                return
+            if ticket.state != "executing":
+                return
+            ticket.state = "done"
+            self._executing -= 1
+            self.completed += 1
+            if service_seconds is not None:
+                self._ema_service += 0.2 * (float(service_seconds) - self._ema_service)
+            self._promote_locked()
+
+    def _promote_locked(self) -> None:
+        while self._executing < self.capacity and self._waiting:
+            priority = min(self._waiting)
+            queue = self._waiting[priority]
+            ticket = queue.popleft()
+            if not queue:
+                del self._waiting[priority]
+            ticket.state = "executing"
+            self._executing += 1
+            ticket.ready.set()
+
+    # -- draining ------------------------------------------------------
+    def drain(self) -> None:
+        """Stop admitting; everything already admitted still completes."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "max_waiting": self.max_waiting,
+                "executing": self._executing,
+                "waiting": sum(len(q) for q in self._waiting.values()),
+                "max_depth": self.max_depth,
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "shed_capacity": self.shed_capacity,
+                "shed_deadline": self.shed_deadline,
+                "shed_draining": self.shed_draining,
+                "cancelled": self.cancelled,
+                "draining": self._draining,
+                "ema_service_ms": self._ema_service * 1000.0,
+            }
+
+
+# ----------------------------------------------------------------------
+# Health state machine
+# ----------------------------------------------------------------------
+class HealthMonitor:
+    """healthy / degraded / unhealthy, from a sliding outcome window.
+
+    The failure fraction over the last ``window`` scoring outcomes
+    drives the state: ≥ ``unhealthy_at`` → unhealthy, ≥ ``degraded_at``
+    → degraded, else healthy — with one hysteresis rule: leaving
+    ``unhealthy`` additionally requires ``recovery_successes``
+    *consecutive* successes, so a single lucky probe cannot flap the
+    service back to full scoring mid-incident.
+    """
+
+    def __init__(
+        self,
+        window: int = 32,
+        degraded_at: float = 0.1,
+        unhealthy_at: float = 0.5,
+        recovery_successes: int = 3,
+    ) -> None:
+        if not 0.0 < degraded_at <= unhealthy_at <= 1.0:
+            raise ValueError(
+                f"need 0 < degraded_at <= unhealthy_at <= 1, got "
+                f"{degraded_at}/{unhealthy_at}"
+            )
+        self.window = int(window)
+        self.degraded_at = float(degraded_at)
+        self.unhealthy_at = float(unhealthy_at)
+        self.recovery_successes = int(recovery_successes)
+        self._outcomes: deque = deque(maxlen=self.window)
+        self._consecutive_ok = 0
+        self._state = HEALTHY
+        self.transitions: List[Tuple[str, str]] = []
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def record(self, ok: bool) -> str:
+        """Record one scoring outcome; returns the (possibly new) state."""
+        with self._lock:
+            self._outcomes.append(bool(ok))
+            self._consecutive_ok = self._consecutive_ok + 1 if ok else 0
+            # Count failures directly: `1 - successes/n` accumulates a
+            # float error that breaks exact threshold comparisons.
+            failures = len(self._outcomes) - sum(self._outcomes)
+            failure_rate = failures / len(self._outcomes)
+            if failure_rate >= self.unhealthy_at:
+                target = UNHEALTHY
+            elif failure_rate >= self.degraded_at:
+                target = DEGRADED
+            else:
+                target = HEALTHY
+            if (
+                self._state == UNHEALTHY
+                and target != UNHEALTHY
+                and self._consecutive_ok < self.recovery_successes
+            ):
+                target = UNHEALTHY  # hysteresis: hold until proven stable
+            if target != self._state:
+                self.transitions.append((self._state, target))
+                self._state = target
+            return self._state
+
+    def reset(self) -> None:
+        with self._lock:
+            self._outcomes.clear()
+            self._consecutive_ok = 0
+            if self._state != HEALTHY:
+                self.transitions.append((self._state, HEALTHY))
+            self._state = HEALTHY
+
+    def stats(self) -> dict:
+        with self._lock:
+            window = len(self._outcomes)
+            failures = window - sum(self._outcomes)
+            return {
+                "state": self._state,
+                "window": window,
+                "failures_in_window": int(failures),
+                "transitions": len(self.transitions),
+            }
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker (hot-swap guard)
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """closed → open after ``failure_threshold`` consecutive failures;
+    open → half-open once ``reset_after`` clock-seconds pass (one trial
+    call allowed); half-open failure reopens, success closes."""
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_after: float = 30.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after = float(reset_after)
+        self.clock = clock
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.opens = 0
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self.clock() - self._opened_at >= self.reset_after
+        ):
+            self._state = self.HALF_OPEN
+
+    def allow(self) -> bool:
+        """May the guarded call proceed right now?"""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state != self.OPEN
+
+    def retry_after(self) -> float:
+        with self._lock:
+            if self._state != self.OPEN:
+                return 0.0
+            return max(0.0, self.reset_after - (self.clock() - self._opened_at))
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open_locked()
+            self._failures += 1
+            if self._state == self.HALF_OPEN or self._failures >= self.failure_threshold:
+                if self._state != self.OPEN:
+                    self.opens += 1
+                self._state = self.OPEN
+                self._opened_at = self.clock()
+
+    def stats(self) -> dict:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "failure_threshold": self.failure_threshold,
+                "reset_after_s": self.reset_after,
+            }
+
+
+# ----------------------------------------------------------------------
+# The resilient service
+# ----------------------------------------------------------------------
+@dataclass
+class ResilienceConfig:
+    """Every knob of the resilience layer, in one place.
+
+    Defaults are transparent: generous capacity, no default deadline,
+    one stale snapshot generation retained for the ladder's stale tier.
+    """
+
+    # Admission.
+    admission_capacity: int = 256
+    max_waiting: int = 512
+    default_deadline_ms: Optional[float] = None
+    # Degradation ladder.
+    stale_versions: int = 1
+    fallback_users: int = 32
+    probe_every: int = 8
+    # Health state machine.
+    health_window: int = 32
+    degraded_at: float = 0.1
+    unhealthy_at: float = 0.5
+    recovery_successes: int = 3
+    # Hot-swap guard.
+    breaker_failures: int = 3
+    breaker_reset_s: float = 30.0
+    swap_retries: int = 2
+    swap_backoff_s: float = 0.05
+    swap_backoff_max_s: float = 1.0
+    probe_after_swap: bool = True
+
+    def __post_init__(self) -> None:
+        if self.stale_versions < 0:
+            raise ValueError(f"stale_versions must be >= 0, got {self.stale_versions}")
+        if self.probe_every < 1:
+            raise ValueError(f"probe_every must be >= 1, got {self.probe_every}")
+
+
+#: Exceptions that mark a checkpoint as *corrupt or incompatible* —
+#: quarantined, never retried (mirrors the grid runner's catch list).
+_PERMANENT_SWAP_ERRORS = (
+    CheckpointMismatchError,
+    zipfile.BadZipFile,
+    KeyError,
+    ValueError,
+    EOFError,
+)
+
+
+def quarantine_checkpoint(path: str) -> str:
+    """Move a corrupt/mismatched checkpoint aside as ``*.corrupt``.
+
+    Same convention as the grid runner: evidence is preserved, never
+    deleted, and the quarantined file can no longer be offered for swap.
+    """
+    quarantine = (
+        path[: -len(".npz")] + ".corrupt" if path.endswith(".npz")
+        else path + ".corrupt"
+    )
+    try:
+        os.replace(path, quarantine)
+    except OSError:
+        pass  # vanished under us; nothing to preserve
+    return quarantine
+
+
+@dataclass
+class _SwapStats:
+    attempts: int = 0
+    succeeded: int = 0
+    retries: int = 0
+    rejected: int = 0
+    quarantined: int = 0
+    rollbacks: int = 0
+    breaker_fast_fails: int = 0
+    watcher_swaps: int = 0
+    quarantine_paths: List[str] = field(default_factory=list)
+
+
+class ResilientService:
+    """The full degradation ladder wrapped around a
+    :class:`~repro.serving.service.RecommendationService`.
+
+    Duck-types the inner service (``query`` / ``query_batch`` / ``swap``
+    / ``stats`` all exist, unknown attributes forward), so anything that
+    served a ``RecommendationService`` — the coalescer, the HTTP front
+    end, :func:`repro.api.recommend` — can serve a resilient one.
+    """
+
+    def __init__(
+        self,
+        service: RecommendationService,
+        config: Optional[ResilienceConfig] = None,
+        clock: Clock = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._service = service
+        self.config = config or ResilienceConfig()
+        self.clock = clock
+        self._sleep = sleep
+        # The stale tier answers from previous cache generations, so the
+        # inner service must retain that window across swaps.
+        if self.config.stale_versions > getattr(service, "keep_stale_versions", 0):
+            service.keep_stale_versions = self.config.stale_versions
+        self.admission = AdmissionQueue(
+            self.config.admission_capacity, self.config.max_waiting, clock=clock
+        )
+        self.health = HealthMonitor(
+            window=self.config.health_window,
+            degraded_at=self.config.degraded_at,
+            unhealthy_at=self.config.unhealthy_at,
+            recovery_successes=self.config.recovery_successes,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failures,
+            reset_after=self.config.breaker_reset_s,
+            clock=clock,
+        )
+        self._swap_lock = threading.Lock()
+        self._swap_stats = _SwapStats()
+        self._tier_counts = {tier: 0 for tier in TIERS}
+        self._deadline_overruns = 0
+        self._wasted_ms = 0.0
+        self._requests_since_probe = 0
+        self._counter_lock = threading.Lock()
+        self._last_good_path = service.checkpoint_path
+        self._version_paths: Dict[int, str] = {
+            service.model_version: service.checkpoint_path
+        }
+        self._fallback: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._build_fallback()
+        self._watcher: Optional[threading.Thread] = None
+        self._watcher_stop = threading.Event()
+        self._watched_mtime: Optional[float] = None
+
+    # -- forwarding ----------------------------------------------------
+    def __getattr__(self, name: str):
+        return getattr(self._service, name)
+
+    @property
+    def service(self) -> RecommendationService:
+        return self._service
+
+    @property
+    def model_version(self) -> int:
+        return self._service.model_version
+
+    @property
+    def checkpoint_path(self) -> str:
+        return self._service.checkpoint_path
+
+    # -- popularity-prior fallback -------------------------------------
+    def _build_fallback(self) -> None:
+        """Precompute the popularity prior for the current snapshot.
+
+        Mean score over a deterministic user sample, per dim-group, then
+        example-weighted across groups: a cheap, model-consistent "what
+        everyone likes" answer for when per-user scoring is unavailable.
+        """
+        snap = self._service.snapshot
+        totals = np.zeros(snap.num_items, dtype=np.float64)
+        weight = 0
+        by_group: Dict[str, List[int]] = {}
+        for user in snap.user_ids():
+            by_group.setdefault(snap.group_of[user], []).append(user)
+        for group in snap.groups:
+            users = by_group.get(group, [])[: self.config.fallback_users]
+            if not users:
+                continue
+            user_mat = np.stack([snap.embeddings[u] for u in users])
+            scores = np.asarray(
+                snap.models[group].score_matrix(user_mat), dtype=np.float64
+            )
+            totals += scores.sum(axis=0)
+            weight += len(users)
+        prior = totals / max(1, weight)
+        order = np.argsort(-prior, kind="stable").astype(np.int64)
+        self._fallback[snap.version] = (order, prior[order])
+
+    def fallback_answer(self, user_id: int, k: int) -> Recommendation:
+        """The popularity-prior answer (ladder tier 4)."""
+        version = self._service.model_version
+        if version not in self._fallback:
+            self._build_fallback()
+        items, scores = self._fallback[version]
+        k = min(int(k), items.size)
+        return Recommendation(
+            int(user_id), items[:k], scores[:k], version, cached=False,
+            tier="fallback",
+        )
+
+    # -- the ladder ----------------------------------------------------
+    def query(
+        self,
+        user_id: int,
+        k: Optional[int] = None,
+        exclude: Optional[np.ndarray] = None,
+        deadline_ms: Optional[float] = None,
+        priority: int = 0,
+    ) -> Recommendation:
+        """One admission-controlled, deadline-bounded, ladder-backed query."""
+        budget = self._budget_seconds(deadline_ms)
+        ticket = self.admission.try_admit(budget, priority=priority)
+        if ticket.state != "executing":
+            remaining = budget if budget is not None else None
+            if not self.admission.wait(ticket, remaining):
+                raise DeadlineExceededError(
+                    f"user {user_id}: deadline spent waiting for admission"
+                )
+        return self.execute(ticket, user_id, k=k, exclude=exclude)
+
+    def try_admit(
+        self, deadline_ms: Optional[float] = None, priority: int = 0
+    ) -> AdmissionTicket:
+        """Phase 1 of the two-phase API (used by the chaos harness and
+        the HTTP path): admission only, no scoring work."""
+        return self.admission.try_admit(self._budget_seconds(deadline_ms), priority)
+
+    def execute(
+        self,
+        ticket: AdmissionTicket,
+        user_id: int,
+        k: Optional[int] = None,
+        exclude: Optional[np.ndarray] = None,
+    ) -> Recommendation:
+        """Phase 2: run one admitted request down the degradation ladder."""
+        start = self.clock()
+        try:
+            answer = self._laddered_answer(
+                QueryRequest(int(user_id), k, exclude), ticket.deadline, start
+            )
+            return answer
+        finally:
+            self.admission.release(ticket, service_seconds=self.clock() - start)
+
+    def _budget_seconds(self, deadline_ms: Optional[float]) -> Optional[float]:
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        return None if deadline_ms is None else float(deadline_ms) / 1000.0
+
+    def _laddered_answer(
+        self, request: QueryRequest, deadline: Optional[float], start: float
+    ) -> Recommendation:
+        state = self.health.state
+        attempt_full = state != UNHEALTHY or self._take_probe_turn()
+        error: Optional[BaseException] = None
+        if attempt_full:
+            if deadline is not None and self.clock() >= deadline:
+                # The budget was spent before any scoring happened.
+                self._count_overrun(0.0)
+                raise DeadlineExceededError(
+                    f"user {request.user_id}: deadline expired before scoring"
+                )
+            try:
+                answer = self._service.query_batch([request])[0]
+            except UnknownUserError:
+                raise  # a 404, not a health event
+            except Exception as exc:  # noqa: BLE001 - enters the ladder
+                error = exc
+                self.health.record(False)
+            else:
+                self.health.record(True)
+                wasted = (self.clock() - start) * 1000.0
+                if deadline is not None and self.clock() > deadline:
+                    self._count_overrun(wasted)
+                    raise DeadlineExceededError(
+                        f"user {request.user_id}: scored but past deadline",
+                        wasted_ms=wasted,
+                    )
+                self._count_tier("cached" if answer.cached else "full")
+                return answer
+        # Tier 3: a stale answer from a retained previous snapshot.
+        stale = self._stale_answer(request)
+        if stale is not None:
+            self._count_tier("stale")
+            return stale
+        # Tier 4: the popularity prior.
+        try:
+            answer = self.fallback_answer(
+                request.user_id,
+                request.k if request.k is not None else self._service.default_k,
+            )
+        except Exception:  # noqa: BLE001 - ladder exhausted
+            answer = None
+        if answer is not None:
+            self._count_tier("fallback")
+            return answer
+        # Tier 5: shed.
+        self._count_tier("shed")
+        raise ShedError(
+            f"user {request.user_id}: every degradation tier failed "
+            f"({type(error).__name__ if error else 'no live scoring'})",
+            retry_after=1.0,
+        )
+
+    def _stale_answer(self, request: QueryRequest) -> Optional[Recommendation]:
+        if self.config.stale_versions < 1 or request.exclude is not None:
+            return None
+        cache = getattr(self._service, "_cache", None)
+        if cache is None or not hasattr(cache, "get_stale"):
+            return None
+        version = self._service.model_version
+        k = request.k if request.k is not None else self._service.default_k
+        hit = cache.get_stale(
+            request.user_id, k, version, max_back=self.config.stale_versions
+        )
+        if hit is None:
+            return None
+        stale_version, (items, scores) = hit
+        return Recommendation(
+            request.user_id, items, scores, stale_version, cached=True,
+            tier="stale",
+        )
+
+    def _take_probe_turn(self) -> bool:
+        with self._counter_lock:
+            self._requests_since_probe += 1
+            if self._requests_since_probe >= self.config.probe_every:
+                self._requests_since_probe = 0
+                return True
+            return False
+
+    def _count_tier(self, tier: str) -> None:
+        with self._counter_lock:
+            self._tier_counts[tier] += 1
+
+    def _count_overrun(self, wasted_ms: float) -> None:
+        with self._counter_lock:
+            self._deadline_overruns += 1
+            self._wasted_ms += wasted_ms
+
+    def note_overrun(self, wasted_ms: float) -> None:
+        """Meter a deadline overrun detected outside the ladder (the
+        HTTP front end uses this when an answer lands past its budget)."""
+        self._count_overrun(float(wasted_ms))
+
+    # -- batch path (feeds the coalescer) ------------------------------
+    def query_batch(self, requests: Sequence[QueryRequest]) -> List[Recommendation]:
+        """Ladder-aware batch scoring (what the coalescer flushes into).
+
+        A healthy batch is one blocked scoring call, exactly like the
+        raw service; a failing one degrades per-request so one poisoned
+        batch cannot take every rider down with it.
+        """
+        if not requests:
+            return []
+        state = self.health.state
+        if state != UNHEALTHY or self._take_probe_turn():
+            try:
+                answers = self._service.query_batch(list(requests))
+            except UnknownUserError:
+                raise
+            except Exception:  # noqa: BLE001 - degrade per-request
+                self.health.record(False)
+            else:
+                self.health.record(True)
+                for answer in answers:
+                    self._count_tier("cached" if answer.cached else "full")
+                return answers
+        out: List[Recommendation] = []
+        for request in requests:
+            stale = self._stale_answer(request)
+            if stale is not None:
+                self._count_tier("stale")
+                out.append(stale)
+                continue
+            self._count_tier("fallback")
+            out.append(
+                self.fallback_answer(
+                    request.user_id,
+                    request.k if request.k is not None else self._service.default_k,
+                )
+            )
+        return out
+
+    # -- guarded hot-swap ----------------------------------------------
+    def swap(self, checkpoint_path: str) -> int:
+        """Circuit-broken, self-healing swap to a newer checkpoint.
+
+        Corrupt or mismatched candidates are quarantined as
+        ``*.corrupt`` and the last-good snapshot keeps serving; missing
+        files are retried with bounded backoff (a writer may still be
+        mid-``os.replace``); repeated failures open the breaker so a
+        swap storm cannot monopolize the process.  After a successful
+        cutover one probe query runs — if the new snapshot cannot
+        answer it, the swap rolls back automatically.
+        """
+        with self._swap_lock:
+            self._swap_stats.attempts += 1
+            if not self.breaker.allow():
+                self._swap_stats.breaker_fast_fails += 1
+                raise CircuitOpenError(
+                    f"swap circuit open after repeated failures; retry in "
+                    f"{self.breaker.retry_after():.1f}s",
+                    retry_after=self.breaker.retry_after(),
+                )
+            previous_path = self._service.checkpoint_path
+            backoff = self.config.swap_backoff_s
+            attempt = 0
+            while True:
+                try:
+                    version = self._service.swap(checkpoint_path)
+                except FileNotFoundError:
+                    if attempt >= self.config.swap_retries:
+                        self.breaker.record_failure()
+                        self._swap_stats.rejected += 1
+                        raise
+                    attempt += 1
+                    self._swap_stats.retries += 1
+                    self._sleep(min(backoff, self.config.swap_backoff_max_s))
+                    backoff *= 2.0
+                except _PERMANENT_SWAP_ERRORS:
+                    self.breaker.record_failure()
+                    self._swap_stats.rejected += 1
+                    quarantined = quarantine_checkpoint(checkpoint_path)
+                    self._swap_stats.quarantined += 1
+                    self._swap_stats.quarantine_paths.append(quarantined)
+                    raise
+                except OSError:
+                    self.breaker.record_failure()
+                    self._swap_stats.rejected += 1
+                    raise
+                else:
+                    break
+            self._version_paths[version] = checkpoint_path
+            if self.config.probe_after_swap and not self._probe_new_snapshot():
+                # The candidate validated but cannot answer: roll back.
+                rollback_version = self._service.swap(previous_path)
+                self._version_paths[rollback_version] = previous_path
+                self._swap_stats.rollbacks += 1
+                self.breaker.record_failure()
+                raise CheckpointMismatchError(
+                    f"checkpoint {os.path.basename(checkpoint_path)} failed "
+                    f"the post-swap probe; rolled back to "
+                    f"{os.path.basename(previous_path)}"
+                )
+            self.breaker.record_success()
+            self._last_good_path = checkpoint_path
+            self._swap_stats.succeeded += 1
+            self._build_fallback()
+            return version
+
+    def _probe_new_snapshot(self) -> bool:
+        snap = self._service.snapshot
+        users = snap.user_ids()
+        if not users:
+            return False
+        try:
+            self._service.query_batch([QueryRequest(users[0], 1)])
+            return True
+        except Exception:  # noqa: BLE001 - any probe failure rolls back
+            return False
+
+    def rollback(self) -> int:
+        """Explicitly swap back to the last checkpoint that served well."""
+        with self._swap_lock:
+            version = self._service.swap(self._last_good_path)
+            self._version_paths[version] = self._last_good_path
+            self._swap_stats.rollbacks += 1
+            self._build_fallback()
+            return version
+
+    def path_of_version(self, version: int) -> Optional[str]:
+        """The checkpoint path a served model version was loaded from."""
+        return self._version_paths.get(int(version))
+
+    # -- checkpoint watcher --------------------------------------------
+    def watch(self, path: str, interval_s: float = 2.0) -> None:
+        """Poll ``path`` and hot-swap whenever a new valid checkpoint lands."""
+        if self._watcher is not None:
+            raise RuntimeError("watcher already running")
+        self._watcher_stop.clear()
+        self._watched_mtime = None
+
+        def loop() -> None:
+            while not self._watcher_stop.wait(interval_s):
+                self.watch_once(path)
+
+        self._watcher = threading.Thread(
+            target=loop, name="repro-serving-watcher", daemon=True
+        )
+        self._watcher.start()
+
+    def watch_once(self, path: str) -> bool:
+        """One watcher poll (exposed for tests); True = swap happened."""
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            return False
+        if self._watched_mtime is None:
+            # First observation: if we are already serving this file,
+            # record its mtime and wait for a *newer* landing.  (Only
+            # the first — after a watcher swap the watched path IS the
+            # served path, and later overwrites must still trigger.)
+            if os.path.abspath(path) == os.path.abspath(
+                self._service.checkpoint_path
+            ):
+                self._watched_mtime = mtime
+                return False
+        elif mtime <= self._watched_mtime:
+            return False
+        self._watched_mtime = mtime
+        try:
+            self.swap(path)
+        except Exception:  # noqa: BLE001 - quarantined/logged via stats
+            return False
+        self._swap_stats.watcher_swaps += 1
+        return True
+
+    def stop_watching(self) -> None:
+        if self._watcher is None:
+            return
+        self._watcher_stop.set()
+        self._watcher.join(timeout=5.0)
+        self._watcher = None
+
+    # -- draining / introspection --------------------------------------
+    def drain(self) -> None:
+        """Stop admitting new requests (graceful-shutdown step 1)."""
+        self.admission.drain()
+        self.stop_watching()
+
+    @property
+    def draining(self) -> bool:
+        return self.admission.draining
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` body: liveness plus the degradation state."""
+        return {
+            "status": "draining" if self.admission.draining else self.health.state,
+            "model_version": self._service.model_version,
+            "checkpoint": self._service.checkpoint_path,
+            "breaker": self.breaker.state,
+            "active_tier_floor": self._active_tier(),
+        }
+
+    def _active_tier(self) -> str:
+        state = self.health.state
+        if state == HEALTHY:
+            return "full"
+        if state == DEGRADED:
+            return "stale"
+        return "fallback"
+
+    def tier_counts(self) -> Dict[str, int]:
+        with self._counter_lock:
+            return dict(self._tier_counts)
+
+    def stats(self) -> dict:
+        swap = self._swap_stats
+        with self._counter_lock:
+            overruns = {
+                "deadline_overruns": self._deadline_overruns,
+                "wasted_ms": round(self._wasted_ms, 3),
+            }
+            tiers = dict(self._tier_counts)
+        return {
+            **self._service.stats(),
+            "resilience": {
+                "health": self.health.stats(),
+                "admission": self.admission.stats(),
+                "breaker": self.breaker.stats(),
+                "tiers": tiers,
+                **overruns,
+                "swap": {
+                    "attempts": swap.attempts,
+                    "succeeded": swap.succeeded,
+                    "retries": swap.retries,
+                    "rejected": swap.rejected,
+                    "quarantined": swap.quarantined,
+                    "rollbacks": swap.rollbacks,
+                    "breaker_fast_fails": swap.breaker_fast_fails,
+                    "watcher_swaps": swap.watcher_swaps,
+                },
+            },
+        }

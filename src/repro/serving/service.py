@@ -69,6 +69,7 @@ class Recommendation:
     scores: np.ndarray
     model_version: int
     cached: bool = False
+    tier: str = "full"
 
     def __post_init__(self) -> None:
         items, scores = self.items, self.scores
@@ -76,6 +77,8 @@ class Recommendation:
             object.__setattr__(self, "items", np.asarray(items, dtype=np.int64))
         if type(scores) is not np.ndarray or scores.dtype != np.float64:
             object.__setattr__(self, "scores", np.asarray(scores, dtype=np.float64))
+        if self.cached and self.tier == "full":
+            object.__setattr__(self, "tier", "cached")
 
     def to_json(self) -> dict:
         return {
@@ -84,6 +87,7 @@ class Recommendation:
             "scores": [float(s) for s in self.scores],
             "model_version": int(self.model_version),
             "cached": bool(self.cached),
+            "tier": self.tier,
         }
 
 
@@ -167,6 +171,13 @@ class RecommendationService:
         their data), so this is the deployment's hook to supply it.
     exclude_seen:
         Mask each user's ``history`` items out of their answers.
+    keep_stale_versions:
+        How many *previous* snapshot generations to retain in the cache
+        across a hot-swap.  ``0`` (the default) drops everything, as
+        before; ``n > 0`` evicts only versions older than
+        ``new_version - n``, which is what lets the resilience layer's
+        degradation ladder answer from a stale-but-recent generation
+        when live scoring is down.
     """
 
     def __init__(
@@ -176,9 +187,15 @@ class RecommendationService:
         cache_size: int = 4096,
         history: Optional[Mapping[int, np.ndarray]] = None,
         exclude_seen: bool = False,
+        keep_stale_versions: int = 0,
     ) -> None:
         from repro.serving.cache import TopKCache
 
+        if keep_stale_versions < 0:
+            raise ValueError(
+                f"keep_stale_versions must be >= 0, got {keep_stale_versions}"
+            )
+        self.keep_stale_versions = int(keep_stale_versions)
         self.default_k = int(k)
         self._history = dict(history) if history is not None else {}
         self._exclude_seen = bool(exclude_seen) and bool(self._history)
@@ -383,8 +400,15 @@ class RecommendationService:
             self._snapshot = candidate  # the cutover: atomic rebind
             with self._stats_lock:
                 self._swaps += 1
-        # Old-version entries are unreachable (version-keyed); reclaim.
-        self._cache.invalidate()
+        # Old-version entries are unreachable for direct hits
+        # (version-keyed); reclaim them eagerly instead of letting LRU
+        # age them out — unless a stale window is kept for degradation.
+        if self.keep_stale_versions > 0:
+            self._cache.evict_older_than(
+                candidate.version - self.keep_stale_versions
+            )
+        else:
+            self._cache.invalidate()
         return candidate.version
 
     @staticmethod

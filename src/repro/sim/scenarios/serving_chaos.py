@@ -1,0 +1,51 @@
+"""``serving_chaos`` — the online layer's fault storm, catalogue-shaped.
+
+Unlike the training scenarios (which fit the surrogate-fleet
+``build(base) -> ScenarioSpec`` signature), serving chaos drives the
+*serving* stack — admission, deadlines, the degradation ladder and the
+guarded hot-swap — so it carries its own config type and runner.  This
+module gives it the same catalogue surface: a ``NAME`` for the CLI and
+``build(...) -> ServingChaosConfig`` / ``run(...)`` delegating to
+:mod:`repro.serving.chaos`.
+
+``python -m repro simulate serving_chaos [--requests N] [--seed S]``
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.serving.chaos import (
+    ServingChaosConfig,
+    ServingChaosResult,
+    run_chaos_scenario,
+)
+
+NAME = "serving_chaos"
+
+
+def build(
+    seed: int = 0, requests: Optional[int] = None, **overrides
+) -> ServingChaosConfig:
+    """Resolve CLI-ish arguments into a full :class:`ServingChaosConfig`.
+
+    ``requests`` scales the whole storm: the fault window stays at
+    ~[12.5%, 62.5%] of the run and the recovery tail at 15%, so a quick
+    smoke and a long soak exercise the same phase structure.
+    """
+    kwargs = dict(seed=int(seed), **overrides)
+    if requests is not None:
+        requests = int(requests)
+        kwargs.setdefault("requests", requests)
+        kwargs.setdefault("fault_start", max(1, requests // 8))
+        kwargs.setdefault("fault_end", max(2, (requests * 5) // 8))
+        kwargs.setdefault("recovery_requests", max(10, (requests * 3) // 20))
+    return ServingChaosConfig(**kwargs)
+
+
+def run(
+    config: Optional[ServingChaosConfig] = None,
+    workdir: Optional[str] = None,
+) -> ServingChaosResult:
+    """Run the serving fault storm (see :func:`repro.serving.chaos.run_chaos_scenario`)."""
+    return run_chaos_scenario(config, workdir=workdir)

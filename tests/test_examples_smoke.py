@@ -50,6 +50,11 @@ def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
             ("--scale", "0.008", "--epochs", "2"),
             "hot-swapped",
         ),
+        (
+            "serving_resilience.py",
+            ("--scale", "0.008", "--epochs", "1"),
+            "recovered: health=healthy",
+        ),
     ],
 )
 def test_example_runs_at_tiny_scale(name, args, expected):

@@ -1,0 +1,128 @@
+"""Determinism pins for the serving chaos harness (``repro.serving.chaos``).
+
+The acceptance bar for the resilience PR: under seeded fault storms —
+latency spikes, injected scoring errors, corrupt swap candidates, 2x
+overload bursts, and all of them at once — the service never crashes,
+never serves a corrupt/mismatched snapshot, sheds instead of collapsing,
+recovers to the healthy tier when the faults stop, and the scenario
+fingerprint is **bitwise-reproducible** for a given seed.
+"""
+
+import json
+
+import pytest
+
+from repro.serving.chaos import (
+    ManualClock,
+    ServingChaosConfig,
+    build_chaos_checkpoints,
+    run_chaos_scenario,
+)
+
+#: Each fault family alone, then the full storm.  `requests` stays small
+#: (the scoring problem is tiny) so the whole matrix runs in seconds.
+FAULT_KINDS = {
+    "latency": dict(latency_spike_rate=0.5, error_rate=0.0, corrupt_swap_rate=0.0,
+                    burst_every=0),
+    "errors": dict(latency_spike_rate=0.0, error_rate=0.35, corrupt_swap_rate=0.0,
+                   burst_every=0),
+    "corrupt_swaps": dict(latency_spike_rate=0.0, error_rate=0.0,
+                          corrupt_swap_rate=0.9, swap_every=15, burst_every=0),
+    "bursts": dict(latency_spike_rate=0.0, error_rate=0.0, corrupt_swap_rate=0.0,
+                   burst_every=25, burst_size=16),
+    "all": dict(latency_spike_rate=0.3, error_rate=0.2, corrupt_swap_rate=0.3,
+                swap_every=20, burst_every=30, burst_size=16),
+}
+
+
+def make_config(kind: str, seed: int = 0) -> ServingChaosConfig:
+    return ServingChaosConfig(
+        seed=seed, requests=150, fault_start=20, fault_end=110,
+        recovery_requests=40, **FAULT_KINDS[kind],
+    )
+
+
+@pytest.fixture(scope="module")
+def chaos_env(tmp_path_factory):
+    """One tiny deterministic training run shared by every scenario."""
+    workdir = str(tmp_path_factory.mktemp("chaos"))
+    return {"workdir": workdir, "checkpoints": build_chaos_checkpoints(workdir)}
+
+
+class TestManualClock:
+    def test_advances_and_sleeps_without_blocking(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        clock.sleep(0.5)
+        assert clock() == 2.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestChaosDeterminism:
+    @pytest.mark.parametrize("kind", sorted(FAULT_KINDS))
+    def test_same_seed_same_fingerprint(self, chaos_env, kind):
+        results = [
+            run_chaos_scenario(
+                make_config(kind),
+                checkpoints=chaos_env["checkpoints"],
+                workdir=chaos_env["workdir"],
+            )
+            for _ in range(2)
+        ]
+        fingerprints = [
+            json.dumps(r.fingerprint(), sort_keys=True) for r in results
+        ]
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_different_seed_different_digest(self, chaos_env):
+        digests = {
+            run_chaos_scenario(
+                make_config("all", seed=seed),
+                checkpoints=chaos_env["checkpoints"],
+                workdir=chaos_env["workdir"],
+            ).answers_digest
+            for seed in (0, 1)
+        }
+        assert len(digests) == 2
+
+
+class TestChaosAcceptance:
+    @pytest.fixture(scope="class")
+    def storm(self, chaos_env):
+        return run_chaos_scenario(
+            make_config("all"),
+            checkpoints=chaos_env["checkpoints"],
+            workdir=chaos_env["workdir"],
+        )
+
+    def test_never_serves_a_bad_snapshot(self, storm):
+        assert storm.bad_snapshots_served == 0
+        assert storm.corrupt_offered > 0  # the storm actually stormed
+        assert storm.quarantined >= storm.corrupt_offered
+
+    def test_sheds_instead_of_collapsing(self, chaos_env):
+        result = run_chaos_scenario(
+            make_config("bursts"),
+            checkpoints=chaos_env["checkpoints"],
+            workdir=chaos_env["workdir"],
+        )
+        config = result.config
+        assert result.shed > 0
+        # Bounded queue: depth can never exceed capacity + wait room.
+        assert result.max_queue_depth <= (
+            config.admission_capacity + config.max_waiting
+        )
+
+    def test_recovers_after_the_storm(self, storm):
+        assert storm.recovered
+        assert storm.final_health == "healthy"
+
+    def test_every_request_is_accounted(self, storm):
+        assert storm.answered + storm.shed + storm.deadline_exceeded > 0
+        assert storm.answered > 0
+        # The ladder was actually exercised under the full storm.
+        assert sum(storm.tiers.values()) == storm.answered + storm.tiers.get(
+            "shed", 0
+        )
