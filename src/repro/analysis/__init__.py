@@ -1,0 +1,39 @@
+"""Contract-aware static analysis for the repro codebase.
+
+``python -m repro lint [paths]`` runs AST-based checks that encode the
+ROADMAP's standing contracts (determinism, sparse hot paths, atomic
+cache writes, lock discipline, RNG checkpoint completeness, facade-only
+examples).  See :mod:`repro.analysis.framework` for the rule registry,
+suppression pragmas and baseline semantics, and
+:mod:`repro.analysis.rules` for the built-in rules.
+"""
+
+from repro.analysis.framework import (
+    Baseline,
+    FileContext,
+    Finding,
+    Report,
+    Rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+    render_json,
+    render_text,
+    rule_catalogue,
+)
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "Report",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+]

@@ -1,0 +1,17 @@
+"""Built-in contract rules.
+
+Importing this package registers every rule with the framework's
+registry (see :func:`repro.analysis.framework.register`).  Each rule
+lives in its own module so it can be read, tested and reviewed in
+isolation — adding a rule is adding a module here and importing it
+below.
+"""
+
+from repro.analysis.rules import (  # noqa: F401 - imports register the rules
+    atomic,
+    determinism,
+    facade,
+    locks,
+    rng_registration,
+    sparse,
+)

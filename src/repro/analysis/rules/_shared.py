@@ -1,0 +1,47 @@
+"""Small AST helpers shared by the contract rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Sequence
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_attribute_path(node: ast.AST) -> Optional[str]:
+    """``"_a.b"`` for ``self._a.b`` chains (unwrapping subscripts), else None.
+
+    Subscript targets (``self._a[k] = ...``) count as writes through the
+    base attribute, so the returned path is the chain with subscripts
+    stripped.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+def logical_in(logical: str, prefixes: Sequence[str]) -> bool:
+    return any(logical == p or logical.startswith(p) for p in prefixes)
+
+
+def call_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return ""

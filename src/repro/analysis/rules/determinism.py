@@ -1,0 +1,133 @@
+"""Rule: no hidden entropy or wall clocks in seeded paths.
+
+The bitwise contracts (engine-vs-reference, parallel-grid equality,
+checkpoint resume, simulator fingerprints) all assume that every random
+draw flows from an injected, seeded ``numpy.random.Generator`` and that
+nothing on a fingerprinted path reads the wall clock.  Three families
+break that silently:
+
+* ``np.random.default_rng()`` **without a seed** — OS entropy; two runs
+  of the "same" config diverge.
+* legacy global-state numpy (``np.random.normal`` etc.) and the stdlib
+  ``random`` module — a hidden shared stream that any import can
+  perturb, invisible to ``_checkpoint_rngs``.
+* wall-clock reads (``time.time()``, ``datetime.now()``) — poison for
+  anything that feeds a fingerprint or a cached result.
+
+``time.monotonic``/``time.perf_counter`` stay legal: they are the
+injectable-clock defaults and the benchmark timers, and nothing bitwise
+consumes them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules._shared import dotted_name, logical_in
+
+#: Paths (under ``repro/``) whose streams are pinned by bitwise tests.
+SEEDED_PREFIXES = (
+    "repro/autograd/",
+    "repro/compression/",
+    "repro/core/",
+    "repro/data/",
+    "repro/experiments/",
+    "repro/federated/",
+    "repro/models/",
+    "repro/nn/",
+    "repro/robustness/",
+    "repro/sim/",
+    # The chaos harness's fingerprint must be wall-clock-free and fully
+    # stream-driven; the rest of serving/ legitimately reads real time.
+    "repro/serving/chaos.py",
+)
+
+#: ``np.random.X`` attributes that are constructors, not global draws.
+_NP_RANDOM_OK = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+#: Wall-clock call chains (suffix-matched on the dotted name).
+_WALL_CLOCK = frozenset(
+    {"time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+     "datetime.today", "date.today"}
+)
+
+
+@register
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "seeded paths must not use unseeded default_rng(), global "
+        "np.random/stdlib random, or wall clocks — inject Generators and "
+        "clocks instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not logical_in(ctx.logical, SEEDED_PREFIXES):
+            return []
+        out: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._check_import(ctx, node, out)
+            elif isinstance(node, ast.Call):
+                self._check_call(ctx, node, out)
+        return out
+
+    def _check_import(self, ctx: FileContext, node: ast.AST, out: List[Finding]) -> None:
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            out.append(self.finding(
+                ctx, node,
+                "stdlib `random` draws from hidden global state; inject a "
+                "seeded np.random.Generator instead",
+            ))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    out.append(self.finding(
+                        ctx, node,
+                        "stdlib `random` draws from hidden global state; "
+                        "inject a seeded np.random.Generator instead",
+                    ))
+
+    def _check_call(self, ctx: FileContext, node: ast.Call, out: List[Finding]) -> None:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name in ("np.random.default_rng", "numpy.random.default_rng",
+                    "default_rng"):
+            if not node.args and not node.keywords:
+                out.append(self.finding(
+                    ctx, node,
+                    "np.random.default_rng() without a seed draws OS "
+                    "entropy; require an explicit seed or an injected "
+                    "Generator",
+                ))
+            return
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            if parts[2] not in _NP_RANDOM_OK:
+                out.append(self.finding(
+                    ctx, node,
+                    f"np.random.{parts[2]}() mutates the hidden global "
+                    "stream (invisible to _checkpoint_rngs); draw from an "
+                    "injected Generator",
+                ))
+            return
+        if len(parts) == 2 and parts[0] == "random":
+            out.append(self.finding(
+                ctx, node,
+                f"random.{parts[1]}() draws from hidden global state; "
+                "inject a seeded np.random.Generator instead",
+            ))
+            return
+        if any(name == clock or name.endswith("." + clock) for clock in _WALL_CLOCK):
+            out.append(self.finding(
+                ctx, node,
+                f"{name}() reads the wall clock on a seeded path; inject a "
+                "clock callable (chaos/serving pattern) or use the run's "
+                "recorded timestamps",
+            ))

@@ -1,0 +1,61 @@
+"""Rule: examples import only the public facade.
+
+``repro.api`` is the compatibility surface (PR 8): everything an
+external consumer needs, re-exported with stability guarantees.  An
+example that reaches into ``repro.federated.trainer`` directly is
+documentation teaching users to depend on internals the next refactor
+is free to move.  So under ``examples/``, the only legal spellings are
+
+* ``from repro.api import ...``
+* imports from outside the ``repro`` package entirely
+
+``import repro.api`` is *also* flagged — attribute access on the
+package module encourages ``repro.api.foo``-style drift and, worse,
+``import repro.x.y`` binds the top-level package and makes every
+submodule reachable.  (These are exactly the semantics the facade test
+in ``tests/test_api_facade.py`` has enforced since PR 8; the rule is
+that test, runnable at lint time.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+
+FACADE_MODULE = "repro.api"
+
+
+@register
+class FacadeOnlyRule(Rule):
+    name = "facade-only"
+    description = (
+        "examples/ may import repro only via `from repro.api import ...` "
+        "— internals are not a public surface"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.logical.startswith("examples/"):
+            return []
+        out: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                root = module.split(".")[0]
+                if root == "repro" and module != FACADE_MODULE:
+                    out.append(self.finding(
+                        ctx, node,
+                        f"`from {module} import ...` bypasses the facade; "
+                        f"import from {FACADE_MODULE} instead",
+                    ))
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "repro":
+                        out.append(self.finding(
+                            ctx, node,
+                            f"`import {alias.name}` binds the package "
+                            f"module; use `from {FACADE_MODULE} import ...`",
+                        ))
+        return out

@@ -1,0 +1,168 @@
+"""Rule: serving-layer shared state is written under one lock discipline.
+
+The serving layer is the only multithreaded part of the repo (flush
+threads, the hot-swap watcher, concurrent lookups).  Its convention:
+any ``self.<attr>`` that is ever written inside a ``with self._lock:``
+block is lock-guarded state, and *every* write to it must be guarded.
+A write to the same attribute outside any lock is the classic
+lost-update/torn-read bug — it usually "works" under CPython's GIL and
+then corrupts counters or swaps under load.
+
+What counts as guarded:
+
+* lexically inside ``with self.<lock-like>:`` where the lock-like
+  attribute was assigned a ``threading.Lock/RLock/Condition/Semaphore``
+  (or its name contains ``lock``).  A ``Condition(self._lock)`` wraps
+  the same underlying lock, so ``with self._wakeup:`` guards too.
+* inside a method whose name ends with ``_locked`` — the repo's
+  caller-holds-the-lock convention (the caller is checked instead).
+* inside ``__init__``/``__new__``/``__post_init__`` — construction
+  happens-before publication.
+
+The rule only fires on attributes with *both* guarded and unguarded
+writes: an attribute that is never locked is a deliberate
+single-threaded or immutable-after-init field, not a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules._shared import dotted_name, self_attribute_path
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__post_init__"}
+
+_LOCK_FACTORIES = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+}
+
+
+def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names on ``self`` that hold lock-like objects."""
+    locks: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            attr = self_attribute_path(target)
+            if attr is None or "." in attr:
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                name = dotted_name(value.func)
+                if name in _LOCK_FACTORIES:
+                    locks.add(attr)
+                    continue
+            if "lock" in attr.lower():
+                locks.add(attr)
+    return locks
+
+
+class _WriteCollector(ast.NodeVisitor):
+    """Collect (base attr, node, guarded?) for self-attribute writes in
+    one method body, tracking lexical ``with self.<lock>:`` nesting."""
+
+    def __init__(self, lock_attrs: Set[str]) -> None:
+        self.lock_attrs = lock_attrs
+        self.depth = 0
+        self.writes: List[Tuple[str, ast.AST, bool]] = []
+
+    def _record(self, target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record(element, node)
+            return
+        path = self_attribute_path(target)
+        if path is None:
+            return
+        base = path.split(".")[0]
+        if base in self.lock_attrs:
+            return
+        self.writes.append((base, node, self.depth > 0))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record(node.target, node)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        guards = any(
+            (self_attribute_path(item.context_expr) or "") in self.lock_attrs
+            for item in node.items
+        )
+        if guards:
+            self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if guards:
+            self.depth -= 1
+
+    # Nested defs get their own method-level pass; don't cross into them.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "serving/ attributes written both inside and outside `with "
+        "self._lock:` blocks — every write to guarded state must hold "
+        "the lock"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.logical.startswith("repro/serving/"):
+            return []
+        out: List[Finding] = []
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            locks = _lock_attrs(cls)
+            if not locks:
+                continue
+            # base attr -> (guarded writes exist?, unguarded write nodes)
+            guarded: Set[str] = set()
+            unguarded: Dict[str, List[ast.AST]] = {}
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in _EXEMPT_METHODS or method.name.endswith("_locked"):
+                    continue
+                collector = _WriteCollector(locks)
+                for stmt in method.body:
+                    collector.visit(stmt)
+                for base, node, is_guarded in collector.writes:
+                    if is_guarded:
+                        guarded.add(base)
+                    else:
+                        unguarded.setdefault(base, []).append(node)
+            for base in sorted(guarded & set(unguarded)):
+                for node in unguarded[base]:
+                    out.append(self.finding(
+                        ctx, node,
+                        f"self.{base} is written under a lock elsewhere in "
+                        f"{cls.name} but this write holds no lock; wrap it "
+                        "in the same `with self._lock:` (or move it into a "
+                        "`*_locked` helper)",
+                    ))
+        return out

@@ -1,0 +1,114 @@
+"""Rule: every Generator a trainer owns is checkpointed.
+
+Bitwise checkpoint/resume works because ``save_checkpoint`` serialises
+``bit_generator.state`` for every Generator returned by the trainer's
+``_checkpoint_rngs()`` and ``restore`` reinjects them.  A trainer
+subclass that adds ``self._foo_rng = np.random.default_rng(...)`` but
+does not extend ``_checkpoint_rngs`` resumes with a *fresh* stream:
+training completes, fingerprints silently diverge from the uninterrupted
+run, and the bitwise-resume test for that subclass is the only thing
+that would ever notice.
+
+Scope: classes that look like trainers — they define or inherit the
+``_checkpoint_rngs`` hook (any base name containing ``Trainer`` or
+``HeteFedRec``, or a local ``_checkpoint_rngs`` def).  For each
+``self.X = np.random.default_rng(...)`` (or ``Generator(...)``)
+assignment in the class, ``self.X`` must appear somewhere inside a
+``_checkpoint_rngs`` method *of the same class* — or the class must not
+define one, in which case the attribute must be registered by the
+class that does (flagged here so the author writes the override).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules._shared import dotted_name, self_attribute_path
+
+_RNG_FACTORIES = {
+    "np.random.default_rng", "numpy.random.default_rng", "default_rng",
+    "np.random.Generator", "numpy.random.Generator", "Generator",
+}
+
+
+def _is_trainer_like(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        name = dotted_name(base) or ""
+        if "Trainer" in name or "HeteFedRec" in name:
+            return True
+    return any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name == "_checkpoint_rngs"
+        for item in cls.body
+    )
+
+
+def _rng_assignments(cls: ast.ClassDef) -> Dict[str, ast.AST]:
+    """``self.X = default_rng(...)`` attrs assigned anywhere in the class."""
+    found: Dict[str, ast.AST] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (isinstance(node.value, ast.Call)
+                and dotted_name(node.value.func) in _RNG_FACTORIES):
+            continue
+        for target in node.targets:
+            attr = self_attribute_path(target)
+            if attr is not None and "." not in attr:
+                found.setdefault(attr, node)
+    return found
+
+
+def _registered_attrs(cls: ast.ClassDef) -> Optional[Set[str]]:
+    """``self.X`` attrs referenced inside this class's own
+    ``_checkpoint_rngs``; ``None`` if the class does not define one."""
+    for item in cls.body:
+        if (isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "_checkpoint_rngs"):
+            attrs: Set[str] = set()
+            for node in ast.walk(item):
+                path = self_attribute_path(node)
+                if path is not None:
+                    attrs.add(path.split(".")[0])
+            return attrs
+    return None
+
+
+@register
+class RngRegistrationRule(Rule):
+    name = "rng-registration"
+    description = (
+        "np.random.Generator attributes on trainer classes must be "
+        "registered in _checkpoint_rngs or resume is not bitwise"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.logical.startswith("repro/"):
+            return []
+        out: List[Finding] = []
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef) or not _is_trainer_like(cls):
+                continue
+            rngs = _rng_assignments(cls)
+            if not rngs:
+                continue
+            registered = _registered_attrs(cls)
+            for attr in sorted(rngs):
+                if registered is not None and attr in registered:
+                    continue
+                if registered is None:
+                    hint = (
+                        f"override _checkpoint_rngs in {cls.name} to add it "
+                        "(super() plus the new key)"
+                    )
+                else:
+                    hint = f"add self.{attr} to {cls.name}._checkpoint_rngs"
+                out.append(self.finding(
+                    ctx, rngs[attr],
+                    f"self.{attr} is a Generator that _checkpoint_rngs never "
+                    f"registers — resume will replay a fresh stream and "
+                    f"diverge bitwise; {hint}",
+                ))
+        return out

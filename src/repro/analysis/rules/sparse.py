@@ -1,0 +1,124 @@
+"""Rule: hot paths stay O(touched rows) on sparse payloads.
+
+:class:`~repro.federated.payload.SparseRowDelta` made client uploads
+O(touched rows) end to end (PR 2); ``dense()`` — and its implicit
+``np.asarray``/``__array__`` spelling — is the escape hatch for the few
+consumers where dense alignment is inherent.  Every new ``dense()``
+call site is a potential O(catalogue) regression on a per-client path,
+so this rule flags them all and carries the documented allowlist of
+legitimate sites.
+
+Compliant without an allowlist entry: the sparse-or-dense *dispatch*
+idiom — ``np.asarray(x)`` inside a function that also tests
+``isinstance(x, SparseRowDelta)`` is the documented way to consume the
+``EmbeddingDelta`` union (the asarray branch only ever sees an
+already-dense payload).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.framework import FileContext, Finding, Rule, register
+from repro.analysis.rules._shared import call_text, dotted_name
+
+#: Documented dense-alignment sites (logical path → why it is allowed).
+DENSE_ALIGNMENT_ALLOWLIST: Dict[str, str] = {
+    "repro/federated/payload.py":
+        "defines SparseRowDelta and its documented escape hatches "
+        "(dense(), __array__, as_dense_delta)",
+    "repro/compression/client.py":
+        "CompressedTensor.dense() reconstructs the codec's value block, "
+        "which is already the O(touched rows) sparse block",
+    "repro/compression/codecs.py":
+        "codec round-trip check materialises its own compressed block",
+    "repro/robustness/defenses.py":
+        "median/trimmed-mean/Krum need aligned dense client stacks "
+        "(documented dense-alignment consumer in payload.py)",
+    "repro/sim/secure.py":
+        "the conservation check compares fully decoded aggregate tables "
+        "by design — a verification path, not a per-client hot path",
+}
+
+
+def _enclosing_functions(tree: ast.AST) -> Dict[int, ast.AST]:
+    """Map every node id to its innermost enclosing function node."""
+    owners: Dict[int, ast.AST] = {}
+
+    def visit(node: ast.AST, owner: Optional[ast.AST]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            owner = node
+        for child in ast.iter_child_nodes(node):
+            owners[id(child)] = owner
+            visit(child, owner)
+
+    visit(tree, None)
+    return owners
+
+
+def _has_sparse_dispatch(func: Optional[ast.AST], arg_text: str) -> bool:
+    """Does the enclosing function isinstance-test this value against
+    SparseRowDelta?  (The Union-dispatch idiom.)"""
+    if func is None:
+        return False
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func) == "isinstance"
+            and len(node.args) == 2
+            and call_text(node.args[0]) == arg_text
+            and "SparseRowDelta" in call_text(node.args[1])
+        ):
+            return True
+    return False
+
+
+@register
+class SparseContractRule(Rule):
+    name = "sparse-contract"
+    description = (
+        "dense()/np.asarray materialisation of SparseRowDelta payloads is "
+        "flagged outside the documented dense-alignment allowlist"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.logical.startswith("repro/"):
+            return []
+        if ctx.logical in DENSE_ALIGNMENT_ALLOWLIST:
+            return []
+        out: List[Finding] = []
+        owners = _enclosing_functions(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "dense":
+                out.append(self.finding(
+                    ctx, node,
+                    f"{call_text(node)} materialises the full table; hot "
+                    "paths must stay O(touched rows) on .rows/.values "
+                    "(allowlist the file if dense alignment is inherent)",
+                ))
+            elif name == "as_dense_delta":
+                out.append(self.finding(
+                    ctx, node,
+                    "as_dense_delta() densifies the upload; consume "
+                    ".rows/.values or add a documented allowlist entry",
+                ))
+            elif name in ("np.asarray", "numpy.asarray", "np.array", "numpy.array"):
+                if not node.args:
+                    continue
+                arg_text = call_text(node.args[0])
+                lowered = arg_text.lower()
+                if "delta" not in lowered and "update" not in lowered:
+                    continue
+                if _has_sparse_dispatch(owners.get(id(node)), arg_text):
+                    continue  # the documented Union-dispatch idiom
+                out.append(self.finding(
+                    ctx, node,
+                    f"np.asarray({arg_text}) densifies a sparse payload "
+                    "implicitly (SparseRowDelta.__array__); dispatch on "
+                    "isinstance(..., SparseRowDelta) or allowlist the file",
+                ))
+        return out

@@ -429,6 +429,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.set_defaults(func=_cmd_serve)
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="AST-based contract checks (determinism, sparse hot paths, "
+        "atomic writes, lock discipline, RNG registration, facade)",
+    )
+    from repro.analysis.cli import add_lint_arguments, run_lint
+
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=run_lint)
+
     return parser
 
 

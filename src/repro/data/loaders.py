@@ -74,7 +74,7 @@ def load_delimited(
     user_index: dict = {}
     item_index: dict = {}
     pairs: List[Tuple[int, int]] = []
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+    with open(path, encoding="utf-8", errors="replace") as handle:
         first = True
         for line in handle:
             line = line.strip()
@@ -122,7 +122,7 @@ def load_timestamped(
     user_index: dict = {}
     item_index: dict = {}
     triples: List[Triple] = []
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+    with open(path, encoding="utf-8", errors="replace") as handle:
         first = True
         for line in handle:
             line = line.strip()

@@ -53,7 +53,7 @@ def load_movielens(
     user_index = {}
     item_index = {}
     pairs = []
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+    with open(path, encoding="utf-8", errors="replace") as handle:
         for line in handle:
             parsed = parse_ratings_line(line, separator=separator)
             if parsed is None:

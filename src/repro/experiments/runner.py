@@ -193,7 +193,7 @@ def _load_cached(key: str) -> Optional[RunResult]:
     if not os.path.exists(path):
         return None
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             return RunResult.from_json(handle.read())
     except (json.JSONDecodeError, KeyError, TypeError):
         # A corrupt (e.g. torn by a crashed writer) entry is a miss, not

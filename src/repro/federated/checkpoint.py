@@ -128,7 +128,7 @@ def read_manifest(path: str) -> dict:
         with np.load(npz) as archive:
             if "__manifest__" in archive.files:
                 return json.loads(archive["__manifest__"].item())
-    with open(_meta_path(path), "r", encoding="utf-8") as handle:
+    with open(_meta_path(path), encoding="utf-8") as handle:
         return json.load(handle)
 
 
@@ -467,7 +467,7 @@ def load_checkpoint(trainer, path: str) -> None:
         if "__manifest__" in archive.files:
             meta = json.loads(archive["__manifest__"].item())
         else:
-            with open(_meta_path(path), "r", encoding="utf-8") as handle:
+            with open(_meta_path(path), encoding="utf-8") as handle:
                 meta = json.load(handle)
         _validate(trainer, meta)
 

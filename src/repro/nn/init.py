@@ -13,16 +13,23 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+#: Fallback stream for callers that pass no Generator.  Seeded so that an
+#: omitted ``rng`` degrades to a *reproducible* default rather than OS
+#: entropy; it is a single shared stream, so order of calls matters —
+#: anything on a bitwise-tested path should keep injecting its own.
+_DEFAULT_SEED = 0
+_default_rng = np.random.default_rng(_DEFAULT_SEED)
+
 
 def normal(shape, std: float = 0.01, rng: np.random.Generator | None = None) -> np.ndarray:
     """Gaussian initialisation, the standard choice for embedding tables."""
-    rng = rng or np.random.default_rng()
+    rng = rng or _default_rng
     return rng.normal(0.0, std, size=shape)
 
 
 def xavier_uniform(shape, rng: np.random.Generator | None = None) -> np.ndarray:
     """Glorot/Xavier uniform initialisation for feed-forward weights."""
-    rng = rng or np.random.default_rng()
+    rng = rng or _default_rng
     fan_in, fan_out = shape[0], shape[1] if len(shape) > 1 else shape[0]
     limit = np.sqrt(6.0 / (fan_in + fan_out))
     return rng.uniform(-limit, limit, size=shape)
@@ -48,6 +55,6 @@ def nested_embedding_tables(
     """
     if not dims:
         raise ValueError("dims must be non-empty")
-    rng = rng or np.random.default_rng()
+    rng = rng or _default_rng
     master = rng.normal(0.0, std, size=(num_items, max(dims)))
     return {d: master[:, :d].copy() for d in dims}

@@ -59,6 +59,14 @@ class AdversarialHeteFedRec(HeteFedRec):
             attack.seed + 101 if attack is not None else 0
         )
 
+    def _checkpoint_rngs(self) -> Dict[str, np.random.Generator]:
+        rngs = super()._checkpoint_rngs()
+        # The poison stream advances once per malicious client per round;
+        # without registration a resumed attack run replays fresh noise
+        # and silently diverges from the uninterrupted one.
+        rngs["attack"] = self._attack_rng
+        return rngs
+
     # ------------------------------------------------------------------
     # Client side: the malicious population swaps its upload
     # ------------------------------------------------------------------

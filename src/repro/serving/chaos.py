@@ -303,6 +303,10 @@ def _make_candidate(
     if corrupt:
         with open(source, "rb") as fh:
             blob = fh.read()
+        # The torn write is the POINT here: this candidate simulates a
+        # crashed non-atomic writer so the swap guard can be seen
+        # rejecting it.  An atomic helper would defeat the scenario.
+        # repro-lint: disable=atomic-write
         with open(path, "wb") as fh:
             fh.write(blob[: max(1, int(len(blob) * 0.6))])
     else:

@@ -121,7 +121,7 @@ class RequestCoalescer:
             batch.requests.append(request)
             self._queries += 1
             if len(batch.requests) >= self.max_batch:
-                to_flush = self._take_pending()
+                to_flush = self._take_pending_locked()
                 self._size_flushes += 1
             elif self._deadline is None:
                 # First query of a fresh batch: arm the deadline and wake
@@ -146,7 +146,7 @@ class RequestCoalescer:
     def flush(self) -> int:
         """Force-flush the pending batch (returns how many were flushed)."""
         with self._wakeup:
-            batch = self._take_pending()
+            batch = self._take_pending_locked()
             if batch.requests:
                 self._forced_flushes += 1
         self._flush(batch)
@@ -163,7 +163,7 @@ class RequestCoalescer:
         with self._wakeup:
             if self._deadline is None or self.clock() < self._deadline:
                 return 0
-            batch = self._take_pending()
+            batch = self._take_pending_locked()
             if batch.requests:
                 self._deadline_flushes += 1
         self._flush(batch)
@@ -173,7 +173,7 @@ class RequestCoalescer:
         """Flush anything pending and stop the background flusher."""
         with self._wakeup:
             self._closed = True
-            batch = self._take_pending()
+            batch = self._take_pending_locked()
             self._wakeup.notify_all()
         self._flush(batch)
         self._flusher.join(timeout=5.0)
@@ -199,7 +199,7 @@ class RequestCoalescer:
     # ------------------------------------------------------------------
     # Flushing
     # ------------------------------------------------------------------
-    def _take_pending(self) -> _Batch:
+    def _take_pending_locked(self) -> _Batch:
         """Detach the pending batch (caller holds the lock)."""
         batch, self._pending = self._pending, _Batch()
         self._deadline = None
@@ -227,7 +227,7 @@ class RequestCoalescer:
                 if remaining > 0:
                     self._wakeup.wait(remaining)
                     continue
-                batch = self._take_pending()
+                batch = self._take_pending_locked()
                 if batch.requests:
                     self._deadline_flushes += 1
             self._flush(batch)

@@ -974,7 +974,8 @@ class ResilientService:
             self.swap(path)
         except Exception:  # noqa: BLE001 - quarantined/logged via stats
             return False
-        self._swap_stats.watcher_swaps += 1
+        with self._swap_lock:
+            self._swap_stats.watcher_swaps += 1
         return True
 
     def stop_watching(self) -> None:

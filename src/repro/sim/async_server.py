@@ -266,18 +266,21 @@ class AsyncFedServer:
         weight = cfg.staleness_weight ** staleness if staleness > 0 else 1.0
         self._buffer.add([update], weight=weight)
 
-        if not duplicate and cfg.duplicate_rate > 0.0:
-            if self.streams.duplicate.random() < cfg.duplicate_rate:
-                # A retry raced its original: the same payload arrives
-                # again shortly — the aggregation path must merge it.
-                queue.push(
-                    self.now + cfg.duplicate_delay, UPLOAD,
-                    update=update, version=payload["version"],
-                    attempt=attempt, failed=None,
-                    latency=float(payload["latency"]) + cfg.duplicate_delay,
-                    duplicate=True,
-                )
-                self._inflight += 1
+        if (
+            not duplicate
+            and cfg.duplicate_rate > 0.0
+            and self.streams.duplicate.random() < cfg.duplicate_rate
+        ):
+            # A retry raced its original: the same payload arrives
+            # again shortly — the aggregation path must merge it.
+            queue.push(
+                self.now + cfg.duplicate_delay, UPLOAD,
+                update=update, version=payload["version"],
+                attempt=attempt, failed=None,
+                latency=float(payload["latency"]) + cfg.duplicate_delay,
+                duplicate=True,
+            )
+            self._inflight += 1
 
         if len(self._buffer) >= cfg.effective_quorum:
             self._close_round(queue, short=False)

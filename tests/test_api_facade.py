@@ -5,7 +5,6 @@ six lifecycle verbs round-trip a real artefact, the old deep-import
 paths still work but warn, and the examples import only via the facade.
 """
 
-import ast
 import warnings
 from pathlib import Path
 
@@ -41,20 +40,22 @@ class TestSurface:
 
 class TestExamplesUseFacadeOnly:
     def test_examples_import_only_repro_api(self):
-        """Every ``repro`` import in every example goes through the facade."""
+        """Every ``repro`` import in every example goes through the facade.
+
+        Since PR 10 the check itself lives in the lint framework (the
+        ``facade-only`` rule); this test runs that rule over the real
+        examples so the contract stays enforced at test time too.
+        """
+        from repro.analysis import lint_source
+
         offenders = []
         for path in sorted((REPO_ROOT / "examples").glob("*.py")):
-            tree = ast.parse(path.read_text())
-            for node in ast.walk(tree):
-                if isinstance(node, ast.ImportFrom):
-                    module = node.module or ""
-                    if module.split(".")[0] == "repro" and module != "repro.api":
-                        offenders.append(f"{path.name}: from {module} import ...")
-                elif isinstance(node, ast.Import):
-                    for alias in node.names:
-                        if alias.name.split(".")[0] == "repro":
-                            offenders.append(f"{path.name}: import {alias.name}")
-        assert not offenders, "\n".join(offenders)
+            offenders += lint_source(
+                path.read_text(),
+                logical=f"examples/{path.name}",
+                rules=["facade-only"],
+            )
+        assert not offenders, "\n".join(f.render() for f in offenders)
 
 
 class TestDeprecationShims:

@@ -594,3 +594,38 @@ class TestDrainAndHealthz:
         assert block["admission"]["admitted"] == 1
         assert block["tiers"]["full"] == 1
         assert "evictions" in stats["cache"] and "stale_hits" in stats["cache"]
+
+
+# ----------------------------------------------------------------------
+# Lock discipline (PR 10 regression pins)
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    """Pins for the PR 10 lock fixes in the serving layer.
+
+    ``watch_once`` used to bump ``_swap_stats.watcher_swaps`` outside
+    ``_swap_lock`` while ``swap``/``rollback`` mutate the same stats
+    under it — a lost-update race under a real watcher thread.  The
+    counter behaviour is pinned functionally here, and the structural
+    fix (every ``_swap_stats`` write under the lock) is pinned by the
+    ``lock-discipline`` lint rule over the real sources: reverting the
+    fix turns these red without needing to win a race in CI.
+    """
+
+    def test_watcher_swap_counts_into_swap_stats(self, checkpoints, tmp_path):
+        resilient, _ = make_resilient(checkpoints, tmp_path)
+        watched = str(tmp_path / "counted.npz")
+        shutil.copyfile(checkpoints["paths"]["v2"], watched)
+        assert resilient.watch_once(watched) is True
+        swap_block = resilient.stats()["resilience"]["swap"]
+        assert swap_block["watcher_swaps"] == 1
+        assert swap_block["succeeded"] == 1
+
+    def test_serving_sources_pass_lock_discipline_rule(self):
+        from pathlib import Path
+
+        from repro.analysis import lint_file
+
+        serving_dir = Path(__file__).resolve().parent.parent / "src/repro/serving"
+        for path in sorted(serving_dir.glob("*.py")):
+            findings, _ = lint_file(str(path), rules=["lock-discipline"])
+            assert findings == [], "\n".join(f.render() for f in findings)

@@ -352,3 +352,60 @@ class TestAttackMetrics:
 
     def test_prediction_shift_empty_clients(self):
         assert prediction_shift(lambda c: None, lambda c: None, [], 0) == 0.0
+
+
+class TestAttackRngCheckpoint:
+    """The poison stream must survive checkpoint/resume bitwise (PR 10).
+
+    ``AdversarialHeteFedRec`` owns ``_attack_rng``; before PR 10 it was
+    not registered in ``_checkpoint_rngs``, so a resumed attack run
+    replayed fresh noise and silently diverged from the uninterrupted
+    one — exactly the defect class the ``rng-registration`` lint rule
+    now catches at diff time.
+    """
+
+    def _attack(self):
+        # "noise" draws from the rng every poisoned upload, so stream
+        # position is observable in the aggregated tables.
+        return AttackConfig(kind="noise", fraction=0.3, scale=2.0, seed=1)
+
+    def _config(self, epochs):
+        return HeteFedRecConfig(
+            epochs=epochs, clients_per_round=16, local_epochs=1, seed=3
+        )
+
+    def _build(self, dataset, clients, epochs):
+        return AdversarialHeteFedRec(
+            dataset.num_items, clients, self._config(epochs),
+            attack=self._attack(),
+        )
+
+    def test_attack_stream_is_registered(self, tiny_dataset, tiny_clients):
+        trainer = self._build(tiny_dataset, tiny_clients, epochs=1)
+        rngs = trainer._checkpoint_rngs()
+        assert rngs["attack"] is trainer._attack_rng
+
+    def test_bitwise_resume_under_attack(self, tiny_dataset, tiny_clients, tmp_path):
+        from repro.federated.checkpoint import (
+            load_checkpoint_impl,
+            save_checkpoint_impl,
+        )
+
+        full = self._build(tiny_dataset, tiny_clients, epochs=2)
+        full.fit()
+
+        first = self._build(tiny_dataset, tiny_clients, epochs=1)
+        first.fit()
+        path = str(tmp_path / "attack_ckpt.npz")
+        save_checkpoint_impl(first, path)
+
+        resumed = self._build(tiny_dataset, tiny_clients, epochs=2)
+        load_checkpoint_impl(resumed, path)
+        assert resumed.epochs_completed == 1
+        resumed.fit()
+
+        for group in full.groups:
+            state_a = full.models[group].state_dict()
+            state_b = resumed.models[group].state_dict()
+            for key in state_a:
+                assert np.array_equal(state_a[key], state_b[key]), (group, key)
